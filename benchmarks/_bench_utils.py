@@ -1,0 +1,43 @@
+"""Shared helpers of the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper: it runs
+the corresponding experiment from :mod:`repro.analysis.experiments` under
+pytest-benchmark, writes the rendered table to ``benchmarks/results/`` and
+prints it, so the series the paper plots can be inspected directly after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.experiments import ExperimentReport
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, report: Union[ExperimentReport, Iterable[ExperimentReport]]) -> str:
+    """Render one or several experiment reports to ``benchmarks/results/``."""
+    reports = [report] if isinstance(report, ExperimentReport) else list(report)
+    text = "\n\n".join(item.render() for item in reports)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return text
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def series_total(report: ExperimentReport, name: str) -> float:
+    """Sum of a series' y values (used for coarse shape assertions)."""
+    return sum(y for _x, y in report.series.get(name, []))
+
+
+def series_values(report: ExperimentReport, name: str):
+    """The y values of a series ordered by x."""
+    return [y for _x, y in sorted(report.series.get(name, []))]

@@ -1,0 +1,67 @@
+"""Ablation A1: effect of the pruning technique on FairBCEM / FairBCEM++.
+
+Not a figure of the paper, but it quantifies the design choice DESIGN.md
+calls out: how much of the end-to-end runtime the CFCore pruning buys
+compared to FCore alone or no pruning at all.  Results are identical in all
+three configurations (pruning is lossless); only the runtime changes.
+"""
+
+import pytest
+
+from _bench_utils import write_report
+
+from repro.analysis.experiments import ExperimentReport
+from repro.analysis.metrics import measure
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.datasets.registry import get_dataset_spec
+
+DATASETS = ("dblp-small", "twitter-small", "youtube-small")
+PRUNINGS = ("none", "core", "colorful")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ablation_pruning_techniques(benchmark, dataset):
+    spec = get_dataset_spec(dataset)
+    graph = spec.load(seed=0)
+    params = spec.ssfbc_defaults.with_theta(None)
+
+    rows = []
+    baseline = None
+    for pruning in PRUNINGS:
+        measurement = measure(fair_bcem_pp, graph, params, pruning=pruning)
+        result = measurement.result
+        if baseline is None:
+            baseline = result.as_set()
+        assert result.as_set() == baseline
+        rows.append(
+            (
+                pruning,
+                measurement.elapsed_seconds,
+                result.stats.upper_vertices_after_pruning
+                + result.stats.lower_vertices_after_pruning,
+                len(result.bicliques),
+            )
+        )
+    report = ExperimentReport(
+        experiment_id="Ablation A1",
+        title=f"FairBCEM++ with different pruning techniques on {dataset}",
+        headers=["pruning", "seconds", "vertices after pruning", "results"],
+        rows=rows,
+    )
+    write_report(f"ablation_pruning_{dataset}", report)
+
+    # benchmark the default configuration for the pytest-benchmark table
+    result = benchmark(fair_bcem_pp, graph, params)
+    assert result.as_set() == baseline
+
+
+def test_ablation_pruning_also_helps_fairbcem(benchmark):
+    spec = get_dataset_spec("twitter-small")
+    graph = spec.load(seed=0)
+    params = spec.ssfbc_defaults.with_theta(None)
+    with_pruning = measure(fair_bcem, graph, params, pruning="colorful")
+    without_pruning = measure(fair_bcem, graph, params, pruning="none")
+    assert with_pruning.result.as_set() == without_pruning.result.as_set()
+    result = benchmark(fair_bcem, graph, params)
+    assert result.as_set() == with_pruning.result.as_set()

@@ -1,0 +1,25 @@
+"""Fig. 11: number of PSSFBCs / PBSFBCs while the ratio threshold varies.
+
+Paper finding (Youtube): the number of proportional fair bicliques grows as
+theta approaches 0.5, where the proportional model coincides with the plain
+model at delta=0.
+"""
+
+import pytest
+
+from _bench_utils import run_once, series_values, write_report
+
+from repro.analysis.experiments import experiment_proportion_counts
+
+THETAS = (0.3, 0.35, 0.4, 0.45, 0.5)
+DATASETS = ("youtube-small", "twitter-small")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_proportion_counts(benchmark, dataset):
+    report = run_once(benchmark, experiment_proportion_counts, dataset, THETAS)
+    write_report(f"fig11_{dataset}", report)
+    pssfbc = series_values(report, "PSSFBC")
+    pbsfbc = series_values(report, "PBSFBC")
+    assert len(pssfbc) == len(THETAS)
+    assert all(value >= 0 for value in pssfbc + pbsfbc)

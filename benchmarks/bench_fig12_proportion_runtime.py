@@ -1,0 +1,20 @@
+"""Fig. 12: runtime of FairBCEMPro++ and BFairBCEMPro++ while theta varies."""
+
+import pytest
+
+from _bench_utils import run_once, series_values, write_report
+
+from repro.analysis.experiments import experiment_proportion_runtime
+
+THETAS = (0.3, 0.35, 0.4, 0.45, 0.5)
+DATASETS = ("youtube-small", "twitter-small")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig12_proportion_runtime(benchmark, dataset):
+    report = run_once(benchmark, experiment_proportion_runtime, dataset, THETAS)
+    write_report(f"fig12_{dataset}", report)
+    for name in ("FairBCEMPro++", "BFairBCEMPro++"):
+        values = series_values(report, name)
+        assert len(values) == len(THETAS)
+        assert all(value >= 0.0 for value in values)

@@ -1,0 +1,51 @@
+"""Fig. 3: FCore vs CFCore pruning (remaining vertices and time).
+
+The paper shows, on IMDB, that both cores shrink the graph dramatically and
+that CFCore always prunes at least as much as FCore at a modest extra cost.
+The synthetic IMDB analogue is block structured (little to prune at small
+thresholds), so the power-law Youtube analogue is included as well -- it is
+the regime where the reduction is as dramatic as in the paper.
+"""
+
+import pytest
+
+from _bench_utils import run_once, write_report
+
+from repro.analysis.experiments import experiment_pruning_ssfbc
+from repro.core.pruning.cfcore import colorful_fair_core, fair_core_pruning
+from repro.datasets.registry import load_dataset
+
+SWEEPS = {
+    "imdb-small": {"alpha": (3, 4, 5, 6, 7, 8), "beta": (2, 3, 4, 5, 6)},
+    "youtube-small": {"alpha": (3, 4, 5, 6, 7, 8), "beta": (2, 3, 4, 5, 6)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+@pytest.mark.parametrize("parameter", ["alpha", "beta"])
+def test_fig3_pruning_sweep(benchmark, dataset, parameter):
+    values = SWEEPS[dataset][parameter]
+    remaining, timing = run_once(
+        benchmark, experiment_pruning_ssfbc, dataset, parameter, values
+    )
+    write_report(f"fig3_{dataset}_{parameter}", [remaining, timing])
+    fcore = dict(remaining.series["FCore"])
+    cfcore = dict(remaining.series["CFCore"])
+    for value in values:
+        # CFCore never keeps more vertices than FCore (Lemma 2).
+        assert cfcore[value] <= fcore[value]
+    # remaining vertices shrink (weakly) as the threshold grows
+    ordered = [fcore[value] for value in values]
+    assert all(later <= earlier for earlier, later in zip(ordered, ordered[1:]))
+
+
+def test_fig3_fcore_benchmark(benchmark):
+    graph = load_dataset("youtube-small", seed=0)
+    outcome = benchmark(fair_core_pruning, graph, 4, 3)
+    assert outcome.vertices_after <= graph.num_vertices
+
+
+def test_fig3_cfcore_benchmark(benchmark):
+    graph = load_dataset("youtube-small", seed=0)
+    outcome = benchmark(colorful_fair_core, graph, 4, 3)
+    assert outcome.vertices_after <= graph.num_vertices

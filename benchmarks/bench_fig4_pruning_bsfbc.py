@@ -1,0 +1,44 @@
+"""Fig. 4: BFCore vs BCFCore pruning (remaining vertices and time).
+
+Paper protocol: Twitter, varying alpha and beta around the bi-side defaults;
+BCFCore always prunes at least as much as BFCore.
+"""
+
+import pytest
+
+from _bench_utils import run_once, write_report
+
+from repro.analysis.experiments import experiment_pruning_bsfbc
+from repro.core.pruning.cfcore import bi_colorful_fair_core, bi_fair_core_pruning
+from repro.datasets.registry import load_dataset
+
+SWEEPS = {
+    "twitter-small": {"alpha": (2, 3, 4, 5), "beta": (2, 3, 4, 5)},
+    "imdb-small": {"alpha": (2, 3, 4, 5), "beta": (2, 3, 4, 5)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+@pytest.mark.parametrize("parameter", ["alpha", "beta"])
+def test_fig4_bi_pruning_sweep(benchmark, dataset, parameter):
+    values = SWEEPS[dataset][parameter]
+    remaining, timing = run_once(
+        benchmark, experiment_pruning_bsfbc, dataset, parameter, values
+    )
+    write_report(f"fig4_{dataset}_{parameter}", [remaining, timing])
+    bfcore = dict(remaining.series["BFCore"])
+    bcfcore = dict(remaining.series["BCFCore"])
+    for value in values:
+        assert bcfcore[value] <= bfcore[value]
+
+
+def test_fig4_bfcore_benchmark(benchmark):
+    graph = load_dataset("twitter-small", seed=0)
+    outcome = benchmark(bi_fair_core_pruning, graph, 2, 2)
+    assert outcome.vertices_after <= graph.num_vertices
+
+
+def test_fig4_bcfcore_benchmark(benchmark):
+    graph = load_dataset("twitter-small", seed=0)
+    outcome = benchmark(bi_colorful_fair_core, graph, 2, 2)
+    assert outcome.vertices_after <= graph.num_vertices

@@ -1,0 +1,39 @@
+"""Fig. 5: BSFBC enumeration runtime of BNSF, BFairBCEM and BFairBCEM++.
+
+Paper finding: BFairBCEM++ is roughly 3-100x faster than BFairBCEM across
+parameter settings, and both are far faster than BNSF (shown on DBLP).
+"""
+
+import pytest
+
+from _bench_utils import run_once, series_total, write_report
+
+from repro.analysis.experiments import experiment_bsfbc_runtime
+
+SWEEPS = {
+    "dblp-small": {"alpha": (1, 2, 3), "beta": (2, 3, 4), "delta": (0, 1, 2, 3)},
+    "twitter-small": {"alpha": (2, 3, 4), "beta": (2, 3, 4), "delta": (0, 1, 2, 3)},
+    "imdb-small": {"alpha": (2, 3, 4), "beta": (2, 3, 4), "delta": (0, 1, 2, 3)},
+    "wiki-small": {"alpha": (2, 3, 4), "beta": (2, 3, 4), "delta": (0, 1, 2, 3)},
+    "youtube-small": {"alpha": (2, 3, 4), "beta": (4, 5, 6), "delta": (0, 1, 2, 3)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+@pytest.mark.parametrize("parameter", ["alpha", "beta", "delta"])
+def test_fig5_runtime_sweep(benchmark, dataset, parameter):
+    values = SWEEPS[dataset][parameter]
+    include_bnsf = dataset == "dblp-small"
+    report = run_once(
+        benchmark, experiment_bsfbc_runtime, dataset, parameter, values, include_bnsf
+    )
+    write_report(f"fig5_{dataset}_{parameter}", report)
+    assert (
+        series_total(report, "BFairBCEM++")
+        <= series_total(report, "BFairBCEM") * 1.25 + 0.05
+    )
+    if include_bnsf:
+        assert (
+            series_total(report, "BFairBCEM")
+            <= series_total(report, "BNSF") * 1.25 + 0.05
+        )

@@ -1,0 +1,35 @@
+"""Fig. 6: number of maximal bicliques vs SSFBCs vs BSFBCs (Wiki-cat).
+
+Paper finding: the number of fairness-aware bicliques is generally (much)
+larger than the number of maximal bicliques under the matching size filters,
+and all counts decrease as alpha / beta / delta grow.
+"""
+
+import pytest
+
+from _bench_utils import run_once, series_values, write_report
+
+from repro.analysis.experiments import experiment_result_counts
+
+SWEEPS = {
+    "wiki-small": {"alpha": (3, 4, 5), "beta": (2, 3, 4), "delta": (0, 1, 2)},
+    "twitter-small": {"alpha": (3, 4, 5), "beta": (2, 3, 4), "delta": (0, 1, 2)},
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SWEEPS))
+@pytest.mark.parametrize("parameter", ["alpha", "beta", "delta"])
+def test_fig6_result_counts(benchmark, dataset, parameter):
+    values = SWEEPS[dataset][parameter]
+    report = run_once(benchmark, experiment_result_counts, dataset, parameter, values)
+    write_report(f"fig6_{dataset}_{parameter}", report)
+
+    ssfbc = series_values(report, "SSFBC")
+    bsfbc = series_values(report, "BSFBC")
+    if parameter in ("alpha", "beta"):
+        # counts are non-increasing in the size thresholds
+        assert all(later <= earlier for earlier, later in zip(ssfbc, ssfbc[1:]))
+        assert all(later <= earlier for earlier, later in zip(bsfbc, bsfbc[1:]))
+    # every count is a sane non-negative integer
+    for name in ("MBC(ssfbc filter)", "SSFBC", "MBC(bsfbc filter)", "BSFBC"):
+        assert all(value >= 0 for value in series_values(report, name))

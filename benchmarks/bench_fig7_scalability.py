@@ -1,0 +1,37 @@
+"""Fig. 7: scalability on 20%-100% edge samples (DBLP).
+
+Paper finding: runtime grows smoothly with the edge fraction and the
+improved (++) algorithms grow more slowly than the basic ones.
+"""
+
+import pytest
+
+from _bench_utils import run_once, series_values, write_report
+
+from repro.analysis.experiments import experiment_scalability
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.parametrize("bi_side", [False, True], ids=["ssfbc", "bsfbc"])
+def test_fig7_scalability_dblp(benchmark, bi_side):
+    report = run_once(
+        benchmark, experiment_scalability, "dblp-small", FRACTIONS, bi_side
+    )
+    suffix = "bsfbc" if bi_side else "ssfbc"
+    write_report(f"fig7_dblp_{suffix}", report)
+    for series_name in report.series:
+        values = series_values(report, series_name)
+        assert len(values) == len(FRACTIONS)
+        assert all(value >= 0.0 for value in values)
+        # the full graph is at least as expensive as the 20% sample
+        assert values[-1] >= values[0] * 0.5
+
+
+@pytest.mark.parametrize("dataset", ["twitter-small"])
+def test_fig7_scalability_secondary_dataset(benchmark, dataset):
+    report = run_once(
+        benchmark, experiment_scalability, dataset, (0.25, 0.5, 0.75, 1.0), False
+    )
+    write_report(f"fig7_{dataset}_ssfbc", report)
+    assert set(report.series) == {"FairBCEM", "FairBCEM++"}

@@ -1,0 +1,25 @@
+"""Fig. 8: peak working memory of the enumeration algorithms.
+
+Paper protocol: the working memory (excluding the input graph) of the
+single-side and bi-side algorithms on every dataset.  tracemalloc measures
+Python-level allocations made while the algorithm runs, which matches the
+paper's "memory cost excluding the graph" accounting.
+"""
+
+import pytest
+
+from _bench_utils import run_once, write_report
+
+from repro.analysis.experiments import experiment_memory
+from repro.datasets.registry import dataset_names
+
+
+@pytest.mark.parametrize("bi_side", [False, True], ids=["ssfbc", "bsfbc"])
+def test_fig8_memory_overhead(benchmark, bi_side):
+    report = run_once(benchmark, experiment_memory, dataset_names(), bi_side)
+    suffix = "bsfbc" if bi_side else "ssfbc"
+    write_report(f"fig8_memory_{suffix}", report)
+    assert len(report.rows) == len(dataset_names())
+    for row in report.rows:
+        for cell in row[1:]:
+            assert cell >= 0.0

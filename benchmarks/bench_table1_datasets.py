@@ -1,0 +1,25 @@
+"""Table I: dataset statistics and default parameters.
+
+Regenerates the dataset summary table for the synthetic suite and records the
+original (paper) sizes next to it, plus benchmarks how long building the
+whole suite takes.
+"""
+
+from _bench_utils import run_once, write_report
+
+from repro.analysis.experiments import experiment_dataset_table
+from repro.datasets.registry import dataset_names, load_dataset
+
+
+def test_table1_dataset_summary(benchmark):
+    report = run_once(benchmark, experiment_dataset_table)
+    write_report("table1_datasets", report)
+    assert len(report.rows) == len(dataset_names()) == 5
+
+
+def test_table1_dataset_construction(benchmark):
+    def build_all():
+        return [load_dataset(name, seed=0) for name in dataset_names()]
+
+    graphs = benchmark(build_all)
+    assert all(graph.num_edges > 0 for graph in graphs)

@@ -1,0 +1,61 @@
+"""DBLP case study (Fig. 9): seniority-balanced, cross-area collaborations.
+
+Run with::
+
+    python examples/dblp_collaboration.py
+
+Builds synthetic DBDA (database + AI) and DBDS (database + systems)
+collaboration graphs, mines single-side and bi-side fair bicliques, and
+prints a few example "fair teams" -- groups of scholars with a balanced
+senior/junior mix that co-authored papers spanning both areas, exactly the
+communities the paper's case study highlights.
+"""
+
+from repro import FairnessParams
+from repro.core.enumeration.bfairbcem import bfair_bcem_pp
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.datasets.dblp import build_collaboration_graph, seniority_mix
+
+
+def show_examples(label, areas, ssfbc_params, bsfbc_params, seed=0, limit=3):
+    graph = build_collaboration_graph(areas=areas, seed=seed)
+    print(f"\n=== {label}: {graph.num_upper} papers, {graph.num_lower} scholars, "
+          f"{graph.num_edges} authorship edges ===")
+
+    ssfbc = fair_bcem_pp(graph, ssfbc_params)
+    print(f"single-side fair bicliques (alpha={ssfbc_params.alpha}, beta={ssfbc_params.beta}, "
+          f"delta={ssfbc_params.delta}): {len(ssfbc.bicliques)} found "
+          f"in {ssfbc.stats.elapsed_seconds:.2f}s")
+    for biclique in sorted(ssfbc.bicliques, key=lambda b: -b.num_vertices)[:limit]:
+        mix = seniority_mix(graph, biclique.lower)
+        scholars = ", ".join(graph.lower_label(v) for v in sorted(biclique.lower))
+        papers = ", ".join(graph.upper_label(u) for u in sorted(biclique.upper))
+        print(f"  team {mix}: {scholars}")
+        print(f"    joint papers: {papers}")
+
+    bsfbc = bfair_bcem_pp(graph, bsfbc_params)
+    print(f"bi-side fair bicliques (alpha={bsfbc_params.alpha}, beta={bsfbc_params.beta}, "
+          f"delta={bsfbc_params.delta}): {len(bsfbc.bicliques)} found")
+    for biclique in sorted(bsfbc.bicliques, key=lambda b: -b.num_vertices)[:limit]:
+        areas_covered = sorted({graph.upper_attribute(u) for u in biclique.upper})
+        mix = seniority_mix(graph, biclique.lower)
+        print(f"  cross-area team covering {areas_covered} with seniority mix {mix}")
+
+
+def main() -> None:
+    show_examples(
+        "DBDA (database + AI venues)",
+        areas=("DB", "AI"),
+        ssfbc_params=FairnessParams(3, 3, 2),
+        bsfbc_params=FairnessParams(1, 2, 2),
+    )
+    show_examples(
+        "DBDS (database + systems venues)",
+        areas=("DB", "SYS"),
+        ssfbc_params=FairnessParams(2, 2, 2),
+        bsfbc_params=FairnessParams(1, 2, 2),
+    )
+
+
+if __name__ == "__main__":
+    main()

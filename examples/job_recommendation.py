@@ -1,0 +1,79 @@
+"""Jobs case study (Fig. 10 a-b): removing popularity bias from job recommendations.
+
+Run with::
+
+    python examples/job_recommendation.py
+
+The pipeline mirrors the paper's case study:
+
+1. build synthetic job-application data in which foreign applicants
+   historically applied to less popular jobs;
+2. compute plain item-based collaborative-filtering top-5 lists and show
+   that foreign users receive (almost) only unpopular jobs;
+3. build the top-10 CF graph, mine single-side fair bicliques with the job
+   side as the fair side, and show that the fair recommendations mix popular
+   and unpopular jobs for the same users.
+"""
+
+from repro import FairnessParams
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.datasets.recommend import (
+    CollaborativeFilteringRecommender,
+    build_recommendation_graph,
+    synthetic_job_ratings,
+)
+
+
+def popular_share(graph, items):
+    items = list(items)
+    if not items:
+        return 0.0
+    return sum(1 for item in items if graph.lower_attribute(item) == "P") / len(items)
+
+
+def main() -> None:
+    data = synthetic_job_ratings(num_users=120, num_jobs=60, seed=0)
+    recommender = CollaborativeFilteringRecommender(data)
+    foreigners = [u for u, value in data.user_attributes.items() if value == "F"]
+
+    print("=== plain collaborative filtering (top-5) ===")
+    top5 = build_recommendation_graph(data, top_k=5)
+    biased_shares = []
+    for user in foreigners[:5]:
+        items = top5.neighbors_of_upper(user)
+        share = popular_share(top5, items)
+        biased_shares.append(share)
+        jobs = ", ".join(
+            f"{top5.lower_label(i)}[{top5.lower_attribute(i)}]" for i in sorted(items)
+        )
+        print(f"  foreign user {user}: popular share {share:.2f}  ->  {jobs}")
+    average_biased = sum(biased_shares) / len(biased_shares) if biased_shares else 0.0
+
+    print("\n=== fair bicliques on the top-10 CF graph (jobs are the fair side) ===")
+    top10 = build_recommendation_graph(data, top_k=10)
+    result = fair_bcem_pp(top10, FairnessParams(alpha=2, beta=2, delta=1))
+    print(f"found {len(result.bicliques)} single-side fair bicliques "
+          f"in {result.stats.elapsed_seconds:.2f}s")
+
+    shown = 0
+    for biclique in sorted(result.bicliques, key=lambda b: -b.num_vertices):
+        if not (set(biclique.upper) & set(foreigners)):
+            continue
+        share = popular_share(top10, biclique.lower)
+        users = ", ".join(str(u) for u in sorted(biclique.upper))
+        jobs = ", ".join(
+            f"{top10.lower_label(i)}[{top10.lower_attribute(i)}]" for i in sorted(biclique.lower)
+        )
+        print(f"  users {{{users}}}: popular share {share:.2f}  ->  {jobs}")
+        shown += 1
+        if shown >= 3:
+            break
+
+    print("\nCF top-5 popular-job share for foreign users:", f"{average_biased:.2f}")
+    print("Every fair biclique guarantees at least 2 popular and 2 unpopular jobs.")
+    # Guard so the example doubles as an executable smoke test.
+    assert result.bicliques, "expected at least one fair biclique"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Movies case study (Fig. 10 c-e): relieving exposure bias in movie recommendations.
+
+Run with::
+
+    python examples/movie_recommendation.py
+
+Old, already-popular movies dominate collaborative-filtering top-5 lists
+(the cold-start / exposure-bias problem).  Mining single-side fair bicliques
+on the top-10 CF graph with the movie side as the fair side guarantees every
+recommendation group mixes old and new movies, which is the paper's remedy.
+"""
+
+from repro import FairnessParams
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.datasets.recommend import (
+    attribute_share,
+    build_recommendation_graph,
+    synthetic_movie_ratings,
+)
+
+
+def main() -> None:
+    data = synthetic_movie_ratings(num_users=100, num_movies=80, seed=0)
+
+    print("=== plain collaborative filtering (top-5) ===")
+    top5 = build_recommendation_graph(data, top_k=5)
+    old_share = attribute_share(
+        top5,
+        [item for user in top5.upper_vertices() for item in top5.neighbors_of_upper(user)],
+        "O",
+    )
+    print(f"share of OLD movies across all top-5 lists: {old_share:.2f}")
+    sample_user = top5.upper_vertices()[0]
+    sample = ", ".join(
+        f"{top5.lower_label(i)}" for i in sorted(top5.neighbors_of_upper(sample_user))
+    )
+    print(f"example top-5 list for user {sample_user}: {sample}")
+
+    print("\n=== fair bicliques on the top-10 CF graph (movies are the fair side) ===")
+    top10 = build_recommendation_graph(data, top_k=10)
+    result = fair_bcem_pp(top10, FairnessParams(alpha=2, beta=2, delta=1))
+    print(f"found {len(result.bicliques)} single-side fair bicliques "
+          f"in {result.stats.elapsed_seconds:.2f}s")
+
+    for biclique in sorted(result.bicliques, key=lambda b: -b.num_vertices)[:3]:
+        new_share = attribute_share(top10, biclique.lower, "N")
+        movies = ", ".join(top10.lower_label(i) for i in sorted(biclique.lower))
+        print(
+            f"  group of {biclique.num_upper} users, new-movie share {new_share:.2f}: {movies}"
+        )
+
+    inside_share = attribute_share(
+        top10,
+        [item for biclique in result.bicliques for item in biclique.lower],
+        "N",
+    )
+    print(f"\nshare of NEW movies inside fair bicliques: {inside_share:.2f} "
+          f"(vs {1 - old_share:.2f} in plain CF top-5 lists)")
+    assert result.bicliques, "expected at least one fair biclique"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Fairness-aware maximal biclique enumeration on bipartite graphs.
+
+Reproduction of Yin, Zhang, Zhang, Li and Wang, "Fairness-aware Maximal
+Biclique Enumeration on Bipartite Graphs", ICDE 2023 (arXiv:2303.03705).
+
+Quick start
+-----------
+>>> from repro import (
+...     AttributedBipartiteGraph, FairnessParams, enumerate_ssfbc,
+... )
+>>> graph = AttributedBipartiteGraph.from_edges(
+...     [(0, 0), (0, 1), (1, 0), (1, 1)],
+...     upper_attributes={0: "a", 1: "b"},
+...     lower_attributes={0: "a", 1: "b"},
+... )
+>>> result = enumerate_ssfbc(graph, FairnessParams(alpha=2, beta=1, delta=1))
+>>> [sorted(b.lower) for b in result.bicliques]
+[[0, 1]]
+
+The main entry points are the ``enumerate_*`` functions of
+:mod:`repro.api`; the individual algorithms, pruning techniques and graph
+substrates are available from :mod:`repro.core` and :mod:`repro.graph`, the
+synthetic dataset suite from :mod:`repro.datasets` and the experiment
+harness from :mod:`repro.analysis`.
+"""
+
+from repro.api import (
+    BSFBC_ALGORITHMS,
+    SSFBC_ALGORITHMS,
+    enumerate_bsfbc,
+    enumerate_pbsfbc,
+    enumerate_pssfbc,
+    enumerate_ssfbc,
+)
+from repro.core.models import (
+    Biclique,
+    EnumerationResult,
+    EnumerationStats,
+    FairnessParams,
+)
+from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
+from repro.graph.unipartite import AttributedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributedBipartiteGraph",
+    "AttributedGraph",
+    "BSFBC_ALGORITHMS",
+    "Biclique",
+    "BipartiteGraphError",
+    "EnumerationResult",
+    "EnumerationStats",
+    "FairnessParams",
+    "SSFBC_ALGORITHMS",
+    "enumerate_bsfbc",
+    "enumerate_pbsfbc",
+    "enumerate_pssfbc",
+    "enumerate_ssfbc",
+    "__version__",
+]

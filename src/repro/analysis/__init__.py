@@ -1,0 +1,27 @@
+"""Experiment harness: measurement, parameter sweeps and reporting.
+
+The modules here drive the reproduction of the paper's evaluation section:
+
+* :mod:`repro.analysis.metrics` -- wall-clock and peak-memory measurement of
+  a single algorithm invocation.
+* :mod:`repro.analysis.sweep` -- parameter sweeps over ``alpha`` / ``beta`` /
+  ``delta`` / ``theta`` / edge fraction for a set of algorithms.
+* :mod:`repro.analysis.experiments` -- one function per paper figure/table,
+  returning structured results.
+* :mod:`repro.analysis.reporting` -- plain-text renderers for tables and
+  figure-like series.
+"""
+
+from repro.analysis.metrics import Measurement, measure
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sweep import SweepObservation, SweepResult, sweep_parameter
+
+__all__ = [
+    "Measurement",
+    "SweepObservation",
+    "SweepResult",
+    "format_series",
+    "format_table",
+    "measure",
+    "sweep_parameter",
+]

@@ -1,0 +1,62 @@
+"""Measurement helpers: wall-clock time and peak memory of a call.
+
+The paper reports runtimes (Figures 2, 5, 7, 12, Table II) and memory
+overheads (Figure 8).  Memory is measured with :mod:`tracemalloc`, which
+captures Python-level allocations -- the same quantity the paper's Figure 8
+reports ("the memory costs of different algorithms do not include the size
+of the graph"): the graph is allocated before tracing starts, so only the
+algorithm's own working memory is counted.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class Measurement:
+    """Outcome of measuring one call."""
+
+    result: Any
+    elapsed_seconds: float
+    peak_memory_bytes: int = 0
+
+    @property
+    def peak_memory_mb(self) -> float:
+        """Peak memory in megabytes."""
+        return self.peak_memory_bytes / (1024 * 1024)
+
+
+def measure(
+    function: Callable[..., Any],
+    *args: Any,
+    track_memory: bool = False,
+    **kwargs: Any,
+) -> Measurement:
+    """Call ``function`` and record elapsed time (and optionally peak memory).
+
+    Memory tracking has a noticeable overhead, so it is off by default; the
+    memory experiment (Fig. 8) switches it on explicitly.
+    """
+    if track_memory:
+        tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = function(*args, **kwargs)
+    finally:
+        elapsed = time.perf_counter() - started
+        peak = 0
+        if track_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    return Measurement(result=result, elapsed_seconds=elapsed, peak_memory_bytes=peak)
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Speed-up factor of ``improved`` over ``baseline`` (inf when instant)."""
+    if improved_seconds <= 0.0:
+        return float("inf")
+    return baseline_seconds / improved_seconds

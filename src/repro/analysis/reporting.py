@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and figure-like data series.
+
+The benchmark harness has no plotting dependencies; every paper figure is
+reproduced as a table of ``(x, series...)`` rows so the trends the paper
+plots (who wins, by what factor, in which direction a curve moves) can be
+read directly from the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, float_digits: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.{float_digits}e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_digits: int = 4,
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Sequence[Tuple[Number, Number]]],
+    float_digits: int = 4,
+) -> str:
+    """Render several ``(x, y)`` series sharing the same x axis as a table.
+
+    This is the textual equivalent of one sub-figure of the paper: the first
+    column is the swept parameter, the remaining columns are one series per
+    algorithm.
+    """
+    xs: List[Number] = sorted({x for points in series.values() for x, _y in points})
+    lookup: Dict[str, Dict[Number, Number]] = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row = [x] + [lookup[name].get(x, float("nan")) for name in series]
+        rows.append(row)
+    return format_table(headers, rows, float_digits=float_digits, title=title)
+
+
+def format_mapping(title: str, mapping: Mapping[str, Number], float_digits: int = 4) -> str:
+    """Render a flat ``name -> value`` mapping as a two-column table."""
+    rows = [(key, value) for key, value in mapping.items()]
+    return format_table(["name", "value"], rows, float_digits=float_digits, title=title)

@@ -1,0 +1,184 @@
+"""Parameter sweeps over fairness thresholds, graph scale and orderings.
+
+The evaluation section of the paper is, almost entirely, a collection of
+parameter sweeps: run a set of algorithms while one of ``alpha`` / ``beta`` /
+``delta`` / ``theta`` / the edge-sample fraction varies and plot runtime or
+result counts.  :func:`sweep_parameter` is the single driver behind all of
+those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.metrics import Measurement, measure
+from repro.core.models import EnumerationResult, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+Algorithm = Callable[[AttributedBipartiteGraph, FairnessParams], EnumerationResult]
+Number = Union[int, float]
+
+
+@dataclass
+class SweepObservation:
+    """One (parameter value, algorithm) measurement."""
+
+    parameter: str
+    value: Number
+    algorithm: str
+    elapsed_seconds: float
+    result_count: int
+    peak_memory_bytes: int = 0
+    search_nodes: int = 0
+    vertices_after_pruning: int = 0
+
+
+@dataclass
+class SweepResult:
+    """All observations of one sweep."""
+
+    parameter: str
+    observations: List[SweepObservation] = field(default_factory=list)
+
+    def series(self, metric: str = "elapsed_seconds") -> Dict[str, List[Tuple[Number, Number]]]:
+        """``algorithm -> [(value, metric)]`` series, ready for reporting."""
+        series: Dict[str, List[Tuple[Number, Number]]] = {}
+        for obs in self.observations:
+            series.setdefault(obs.algorithm, []).append((obs.value, getattr(obs, metric)))
+        for points in series.values():
+            points.sort()
+        return series
+
+    def algorithms(self) -> List[str]:
+        """Names of all algorithms appearing in the sweep."""
+        seen: List[str] = []
+        for obs in self.observations:
+            if obs.algorithm not in seen:
+                seen.append(obs.algorithm)
+        return seen
+
+    def observation(self, algorithm: str, value: Number) -> Optional[SweepObservation]:
+        """Look up one observation (None when missing)."""
+        for obs in self.observations:
+            if obs.algorithm == algorithm and obs.value == value:
+                return obs
+        return None
+
+
+def _with_parameter(params: FairnessParams, parameter: str, value: Number) -> FairnessParams:
+    if parameter in ("alpha", "beta", "delta"):
+        return params.replace(**{parameter: int(value)})
+    if parameter == "theta":
+        return params.replace(theta=float(value))
+    raise ValueError(f"unknown fairness parameter {parameter!r}")
+
+
+def sweep_parameter(
+    graph: AttributedBipartiteGraph,
+    algorithms: Mapping[str, Algorithm],
+    base_params: FairnessParams,
+    parameter: str,
+    values: Sequence[Number],
+    track_memory: bool = False,
+) -> SweepResult:
+    """Run ``algorithms`` while one fairness parameter varies.
+
+    ``parameter`` is one of ``"alpha"``, ``"beta"``, ``"delta"`` or
+    ``"theta"``; every other threshold stays at its value in
+    ``base_params``.
+    """
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        params = _with_parameter(base_params, parameter, value)
+        for name, algorithm in algorithms.items():
+            measurement: Measurement = measure(
+                algorithm, graph, params, track_memory=track_memory
+            )
+            enumeration: EnumerationResult = measurement.result
+            result.observations.append(
+                SweepObservation(
+                    parameter=parameter,
+                    value=value,
+                    algorithm=name,
+                    elapsed_seconds=measurement.elapsed_seconds,
+                    result_count=len(enumeration.bicliques),
+                    peak_memory_bytes=measurement.peak_memory_bytes,
+                    search_nodes=enumeration.stats.search_nodes,
+                    vertices_after_pruning=(
+                        enumeration.stats.upper_vertices_after_pruning
+                        + enumeration.stats.lower_vertices_after_pruning
+                    ),
+                )
+            )
+    return result
+
+
+def sweep_edge_fraction(
+    graph: AttributedBipartiteGraph,
+    algorithms: Mapping[str, Algorithm],
+    params: FairnessParams,
+    fractions: Sequence[float],
+    seed: int = 0,
+    track_memory: bool = False,
+) -> SweepResult:
+    """Scalability sweep: run the algorithms on edge-sampled subgraphs.
+
+    Reproduces the protocol of Fig. 7: subgraphs keeping 20%-100% of the
+    edges, all other parameters at their defaults.
+    """
+    result = SweepResult(parameter="edge_fraction")
+    for fraction in fractions:
+        subgraph = graph.edge_sampled_subgraph(fraction, seed=seed)
+        for name, algorithm in algorithms.items():
+            measurement = measure(algorithm, subgraph, params, track_memory=track_memory)
+            enumeration: EnumerationResult = measurement.result
+            result.observations.append(
+                SweepObservation(
+                    parameter="edge_fraction",
+                    value=fraction,
+                    algorithm=name,
+                    elapsed_seconds=measurement.elapsed_seconds,
+                    result_count=len(enumeration.bicliques),
+                    peak_memory_bytes=measurement.peak_memory_bytes,
+                    search_nodes=enumeration.stats.search_nodes,
+                )
+            )
+    return result
+
+
+def sweep_pruning(
+    graph: AttributedBipartiteGraph,
+    pruners: Mapping[str, Callable[[AttributedBipartiteGraph, int, int], object]],
+    parameter: str,
+    values: Sequence[int],
+    fixed_alpha: int,
+    fixed_beta: int,
+) -> SweepResult:
+    """Pruning-technique sweep (Figures 3 and 4).
+
+    ``pruners`` maps a name (``"FCore"`` / ``"CFCore"`` / ...) to a callable
+    taking ``(graph, alpha, beta)`` and returning a
+    :class:`~repro.core.pruning.cfcore.PruningResult`.  ``parameter`` is
+    ``"alpha"`` or ``"beta"``; the other threshold stays fixed.
+    """
+    if parameter not in ("alpha", "beta"):
+        raise ValueError("pruning sweeps vary 'alpha' or 'beta'")
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        alpha = value if parameter == "alpha" else fixed_alpha
+        beta = value if parameter == "beta" else fixed_beta
+        for name, pruner in pruners.items():
+            measurement = measure(pruner, graph, alpha, beta)
+            pruning = measurement.result
+            result.observations.append(
+                SweepObservation(
+                    parameter=parameter,
+                    value=value,
+                    algorithm=name,
+                    elapsed_seconds=measurement.elapsed_seconds,
+                    result_count=pruning.vertices_after,
+                    vertices_after_pruning=pruning.vertices_after,
+                )
+            )
+    return result

@@ -1,0 +1,111 @@
+"""High-level facade of the library.
+
+Most users only need the four ``enumerate_*`` functions below: pick a model
+(single-side / bi-side, with or without the proportionality constraint),
+pass a graph and the fairness thresholds, and get the complete list of
+fairness-aware maximal bicliques back.
+
+>>> from repro import AttributedBipartiteGraph, FairnessParams, enumerate_ssfbc
+>>> graph = AttributedBipartiteGraph.from_edges(
+...     [(0, 0), (0, 1), (1, 0), (1, 1)],
+...     upper_attributes={0: "a", 1: "b"},
+...     lower_attributes={0: "a", 1: "b"},
+... )
+>>> result = enumerate_ssfbc(graph, FairnessParams(alpha=1, beta=1, delta=1))
+>>> len(result.bicliques)
+1
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.naive import bnsf, nsf
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.core.models import EnumerationResult, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+#: Algorithm registry for the single-side model.
+SSFBC_ALGORITHMS = {
+    "fairbcem": fair_bcem,
+    "fairbcem++": fair_bcem_pp,
+    "nsf": nsf,
+}
+
+#: Algorithm registry for the bi-side model.
+BSFBC_ALGORITHMS = {
+    "bfairbcem": bfair_bcem,
+    "bfairbcem++": bfair_bcem_pp,
+    "bnsf": bnsf,
+}
+
+
+def enumerate_ssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    algorithm: str = "fairbcem++",
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all single-side fair bicliques (SSFBC, Definition 3).
+
+    ``algorithm`` is one of ``"fairbcem++"`` (default, fastest),
+    ``"fairbcem"`` or ``"nsf"``.
+    """
+    try:
+        function = SSFBC_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown SSFBC algorithm {algorithm!r}; expected one of {sorted(SSFBC_ALGORITHMS)}"
+        ) from None
+    return function(graph, params, ordering=ordering, pruning=pruning)
+
+
+def enumerate_bsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    algorithm: str = "bfairbcem++",
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all bi-side fair bicliques (BSFBC, Definition 4)."""
+    try:
+        function = BSFBC_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown BSFBC algorithm {algorithm!r}; expected one of {sorted(BSFBC_ALGORITHMS)}"
+        ) from None
+    return function(graph, params, ordering=ordering, pruning=pruning)
+
+
+def enumerate_pssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    theta: Optional[float] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all proportion single-side fair bicliques (PSSFBC).
+
+    ``theta`` overrides ``params.theta`` when given.
+    """
+    if theta is not None:
+        params = params.with_theta(theta)
+    return fair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning)
+
+
+def enumerate_pbsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    theta: Optional[float] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
+    if theta is not None:
+        params = params.with_theta(theta)
+    return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning)

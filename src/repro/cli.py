@@ -1,0 +1,198 @@
+"""Command line interface: ``repro-fairbiclique``.
+
+Sub-commands
+------------
+``datasets``
+    List the synthetic dataset suite (Table I style summary).
+``enumerate``
+    Run one of the enumeration algorithms either on a named synthetic
+    dataset or on a graph loaded from edge-list / attribute files, and print
+    the resulting fair bicliques (or just their count).
+``prune``
+    Run a pruning technique and report the reduction it achieves.
+``experiment``
+    Run one of the paper experiments and print its table / series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.api import BSFBC_ALGORITHMS, SSFBC_ALGORITHMS
+from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.core.models import FairnessParams
+from repro.core.pruning.cfcore import (
+    bi_colorful_fair_core,
+    bi_fair_core_pruning,
+    colorful_fair_core,
+    fair_core_pruning,
+)
+from repro.datasets.registry import dataset_names, dataset_table, load_dataset
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.io import load_graph
+
+_PRUNERS = {
+    "fcore": fair_core_pruning,
+    "cfcore": colorful_fair_core,
+    "bfcore": bi_fair_core_pruning,
+    "bcfcore": bi_colorful_fair_core,
+}
+
+_EXPERIMENTS = {
+    "table1": lambda: experiments.experiment_dataset_table(),
+    "fig2": lambda: experiments.experiment_ssfbc_runtime("dblp-small", "alpha", (2, 3, 4)),
+    "fig3": lambda: experiments.experiment_pruning_ssfbc("imdb-small", "alpha", (3, 4, 5))[0],
+    "fig6": lambda: experiments.experiment_result_counts("wiki-small", "beta", (2, 3, 4)),
+    "fig9": lambda: experiments.experiment_case_dblp(),
+    "fig10": lambda: experiments.experiment_case_recommendation(),
+    "fig11": lambda: experiments.experiment_proportion_counts("youtube-small"),
+    "table2": lambda: experiments.experiment_orderings(["dblp-small", "youtube-small"]),
+}
+
+
+def _load_input_graph(args: argparse.Namespace) -> AttributedBipartiteGraph:
+    if args.dataset:
+        return load_dataset(args.dataset, seed=args.seed)
+    if args.edges and args.upper_attrs and args.lower_attrs:
+        return load_graph(args.edges, args.upper_attrs, args.lower_attrs)
+    raise SystemExit(
+        "either --dataset or all of --edges/--upper-attrs/--lower-attrs must be given"
+    )
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=dataset_names(), help="named synthetic dataset")
+    parser.add_argument("--edges", help="edge list file (upper lower per line)")
+    parser.add_argument("--upper-attrs", help="upper-side attribute file (id value per line)")
+    parser.add_argument("--lower-attrs", help="lower-side attribute file (id value per line)")
+    parser.add_argument("--seed", type=int, default=0, help="seed for synthetic datasets")
+
+
+def _add_params_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=int, default=2)
+    parser.add_argument("--beta", type=int, default=2)
+    parser.add_argument("--delta", type=int, default=2)
+    parser.add_argument("--theta", type=float, default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fairbiclique",
+        description="Fairness-aware maximal biclique enumeration (ICDE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the synthetic dataset suite")
+
+    enum_parser = subparsers.add_parser("enumerate", help="enumerate fair bicliques")
+    _add_graph_arguments(enum_parser)
+    _add_params_arguments(enum_parser)
+    enum_parser.add_argument(
+        "--model",
+        choices=["ssfbc", "bsfbc", "pssfbc", "pbsfbc"],
+        default="ssfbc",
+        help="which fairness-aware biclique model to enumerate",
+    )
+    enum_parser.add_argument(
+        "--algorithm",
+        default=None,
+        help="algorithm name (defaults to the ++ algorithm of the chosen model)",
+    )
+    enum_parser.add_argument("--ordering", choices=["degree", "id"], default="degree")
+    enum_parser.add_argument(
+        "--pruning", choices=["colorful", "core", "none"], default="colorful"
+    )
+    enum_parser.add_argument(
+        "--count-only", action="store_true", help="print only the number of results"
+    )
+    enum_parser.add_argument(
+        "--limit", type=int, default=20, help="print at most this many bicliques"
+    )
+
+    prune_parser = subparsers.add_parser("prune", help="run a pruning technique")
+    _add_graph_arguments(prune_parser)
+    _add_params_arguments(prune_parser)
+    prune_parser.add_argument("--technique", choices=sorted(_PRUNERS), default="cfcore")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run a paper experiment and print its table"
+    )
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    return parser
+
+
+def _run_enumerate(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args)
+    params = FairnessParams(args.alpha, args.beta, args.delta, args.theta)
+    model = args.model
+    if model == "ssfbc":
+        algorithm = args.algorithm or "fairbcem++"
+        function = SSFBC_ALGORITHMS[algorithm]
+        result = function(graph, params, ordering=args.ordering, pruning=args.pruning)
+    elif model == "bsfbc":
+        algorithm = args.algorithm or "bfairbcem++"
+        function = BSFBC_ALGORITHMS[algorithm]
+        result = function(graph, params, ordering=args.ordering, pruning=args.pruning)
+    elif model == "pssfbc":
+        result = fair_bcem_pro_pp(graph, params, ordering=args.ordering, pruning=args.pruning)
+    else:
+        result = bfair_bcem_pro_pp(graph, params, ordering=args.ordering, pruning=args.pruning)
+
+    stats = result.stats
+    print(
+        f"{stats.algorithm}: {len(result.bicliques)} fair bicliques "
+        f"in {stats.elapsed_seconds:.3f}s "
+        f"(pruned graph: {stats.upper_vertices_after_pruning} upper / "
+        f"{stats.lower_vertices_after_pruning} lower vertices)"
+    )
+    if not args.count_only:
+        for index, biclique in enumerate(result.sorted()):
+            if index >= args.limit:
+                print(f"... ({len(result.bicliques) - args.limit} more)")
+                break
+            print(f"  [{index}] {biclique.describe(graph)}")
+    return 0
+
+
+def _run_prune(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args)
+    pruner = _PRUNERS[args.technique]
+    outcome = pruner(graph, args.alpha, args.beta)
+    rows = [
+        ("vertices before", outcome.vertices_before),
+        ("vertices after", outcome.vertices_after),
+        ("removed", outcome.vertices_removed),
+        ("reduction ratio", outcome.reduction_ratio),
+        ("elapsed seconds", outcome.elapsed_seconds),
+    ]
+    print(format_table(["metric", "value"], rows, title=f"{args.technique} on the input graph"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "datasets":
+        rows = dataset_table()
+        print(format_table(["dataset", "|U|", "|V|", "|E|", "density"], rows))
+        return 0
+    if args.command == "enumerate":
+        return _run_enumerate(args)
+    if args.command == "prune":
+        return _run_prune(args)
+    if args.command == "experiment":
+        report = _EXPERIMENTS[args.name]()
+        print(report.render())
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Core algorithms: fairness-aware maximal biclique enumeration.
+
+The subpackage is organised as follows:
+
+* :mod:`repro.core.models` -- result containers (:class:`Biclique`),
+  parameter bundles (:class:`FairnessParams`) and fairness predicates on
+  bicliques.
+* :mod:`repro.core.fair_sets` -- fair sets, maximal fair subsets,
+  ``Combination`` / ``CombinationPro`` (Algorithms 4 and 7 of the paper).
+* :mod:`repro.core.pruning` -- FCore, CFCore, BFCore, BCFCore (Algorithms 1
+  and 2) plus the ego colorful core peeling they build on.
+* :mod:`repro.core.enumeration` -- the enumeration algorithms: the
+  maximal-biclique baseline, FairBCEM, FairBCEM++, BFairBCEM,
+  BFairBCEM++, the proportional variants, the naive baselines and the
+  brute-force references used for testing.
+"""
+
+from repro.core.models import (
+    Biclique,
+    EnumerationResult,
+    EnumerationStats,
+    FairnessParams,
+    biclique_is_fair_lower,
+    biclique_is_fair_upper,
+)
+from repro.core.fair_sets import (
+    is_fair_counts,
+    is_fair_set,
+    is_maximal_fair_subset,
+    is_proportion_fair_counts,
+    is_proportion_fair_set,
+    maximal_fair_count_vector,
+    maximal_proportion_fair_count_vectors,
+    enumerate_maximal_fair_subsets,
+    enumerate_maximal_proportion_fair_subsets,
+)
+
+__all__ = [
+    "Biclique",
+    "EnumerationResult",
+    "EnumerationStats",
+    "FairnessParams",
+    "biclique_is_fair_lower",
+    "biclique_is_fair_upper",
+    "enumerate_maximal_fair_subsets",
+    "enumerate_maximal_proportion_fair_subsets",
+    "is_fair_counts",
+    "is_fair_set",
+    "is_maximal_fair_subset",
+    "is_proportion_fair_counts",
+    "is_proportion_fair_set",
+    "maximal_fair_count_vector",
+    "maximal_proportion_fair_count_vectors",
+]

@@ -1,0 +1,47 @@
+"""Enumeration algorithms.
+
+* :mod:`repro.core.enumeration.mbea` -- maximal biclique enumeration
+  (iMBEA-style branch and bound), the substrate of the ``++`` algorithms.
+* :mod:`repro.core.enumeration.fairbcem` -- ``FairBCEM`` (Algorithm 5).
+* :mod:`repro.core.enumeration.fairbcem_pp` -- ``FairBCEM++`` (Algorithm 6).
+* :mod:`repro.core.enumeration.bfairbcem` -- ``BFairBCEM`` /
+  ``BFairBCEM++`` (Algorithm 9).
+* :mod:`repro.core.enumeration.proportion` -- ``FairBCEMPro++`` /
+  ``BFairBCEMPro++``.
+* :mod:`repro.core.enumeration.naive` -- the ``NSF`` / ``BNSF`` baselines.
+* :mod:`repro.core.enumeration.reference` -- exponential brute-force
+  reference enumerators used as ground truth in the tests.
+* :mod:`repro.core.enumeration.ordering` -- ``DegOrd`` / ``IDOrd`` vertex
+  selection orderings.
+"""
+
+from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.mbea import enumerate_maximal_bicliques
+from repro.core.enumeration.naive import bnsf, nsf
+from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.core.enumeration.reference import (
+    reference_bsfbc,
+    reference_maximal_bicliques,
+    reference_pbsfbc,
+    reference_pssfbc,
+    reference_ssfbc,
+)
+
+__all__ = [
+    "bfair_bcem",
+    "bfair_bcem_pp",
+    "bfair_bcem_pro_pp",
+    "bnsf",
+    "enumerate_maximal_bicliques",
+    "fair_bcem",
+    "fair_bcem_pp",
+    "fair_bcem_pro_pp",
+    "nsf",
+    "reference_bsfbc",
+    "reference_maximal_bicliques",
+    "reference_pbsfbc",
+    "reference_pssfbc",
+    "reference_ssfbc",
+]

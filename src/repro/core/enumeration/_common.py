@@ -1,0 +1,68 @@
+"""Shared helpers of the enumeration algorithms."""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time
+from typing import Iterator
+
+from repro.core.models import EnumerationStats
+from repro.core.pruning.cfcore import PruningResult
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+@contextlib.contextmanager
+def recursion_limit(minimum: int) -> Iterator[None]:
+    """Temporarily raise the interpreter recursion limit.
+
+    The branch-and-bound searches recurse once per vertex added to the
+    growing biclique, so the depth is bounded by the fair-side size of the
+    pruned graph; large sparse graphs stay shallow but dense synthetic ones
+    can exceed CPython's default limit of 1000.
+    """
+    previous = sys.getrecursionlimit()
+    if minimum > previous:
+        sys.setrecursionlimit(minimum)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+def make_stats(
+    algorithm: str,
+    graph: AttributedBipartiteGraph,
+    pruning: PruningResult,
+) -> EnumerationStats:
+    """Initialise an :class:`EnumerationStats` from a pruning result."""
+    stats = EnumerationStats(algorithm=algorithm)
+    stats.upper_vertices_before_pruning = graph.num_upper
+    stats.lower_vertices_before_pruning = graph.num_lower
+    stats.upper_vertices_after_pruning = pruning.upper_after
+    stats.lower_vertices_after_pruning = pruning.lower_after
+    stats.pruning_seconds = pruning.elapsed_seconds
+    return stats
+
+
+class Timer:
+    """Tiny perf_counter-based stop watch."""
+
+    def __init__(self):
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+
+def validate_alpha(alpha: int) -> None:
+    """The enumeration algorithms require ``alpha >= 1``.
+
+    With ``alpha = 0`` a "biclique" with an empty upper side would be
+    admissible and the fully-connected candidate bookkeeping of the searches
+    would no longer be complete; the paper's experiments always use
+    ``alpha >= 1``.
+    """
+    if alpha < 1:
+        raise ValueError(f"the enumeration algorithms require alpha >= 1, got {alpha}")

@@ -1,0 +1,167 @@
+"""``FairBCEM``: branch-and-bound single-side fair biclique enumeration.
+
+Algorithm 5 of the paper.  The search grows the fair (lower) side ``R`` one
+candidate at a time while maintaining
+
+* ``L``  -- the common upper neighbourhood of ``R`` (so ``(L, R)`` is always
+  a biclique with the largest possible upper side),
+* ``P``  -- candidate lower vertices that may still extend ``R``,
+* ``Q``  -- lower vertices already explored on sibling branches (used for
+  maximality checks and for Observation 2 pruning).
+
+A node emits ``(L, R)`` when ``|L| >= alpha``, ``R`` is a fair set and ``R``
+is a *maximal fair subset* of ``R`` together with every candidate/excluded
+vertex fully connected to ``L`` -- exactly the characterisation of a
+single-side fair biclique (Definition 3).
+
+Search-space pruning (Observations 2 and 5 of the paper) can be switched off
+to obtain the ``NSF`` baseline used in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.enumeration._common import Timer, make_stats, recursion_limit, validate_alpha
+from repro.core.enumeration.ordering import DEGREE_ORDER, order_lower_vertices
+from repro.core.fair_sets import is_fair_counts, is_maximal_fair_subset
+from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.pruning.cfcore import prune_for_model
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def fair_bcem(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    search_pruning: bool = True,
+) -> EnumerationResult:
+    """Enumerate all single-side fair bicliques with ``FairBCEM``.
+
+    Parameters
+    ----------
+    graph:
+        The attributed bipartite graph; the lower side is the fair side.
+    params:
+        ``alpha`` (minimum upper-side size), ``beta`` (per-value lower-side
+        minimum) and ``delta`` (maximum per-value count difference).
+        ``theta`` is ignored; use the proportional algorithms for the
+        PSSFBC model.
+    ordering:
+        Candidate selection ordering (``"degree"`` for DegOrd, ``"id"`` for
+        IDOrd).
+    pruning:
+        Graph-reduction technique: ``"colorful"`` (CFCore, the default),
+        ``"core"`` (FCore only) or ``"none"``.
+    search_pruning:
+        When False the branch-and-bound keeps only the bookkeeping needed
+        for correctness and drops Observations 2 and 5, which yields the
+        ``NSF`` baseline of the paper's experiments.
+    """
+    validate_alpha(params.alpha)
+    timer = Timer()
+    domain = graph.lower_attribute_domain
+    alpha, beta, delta = params.alpha, params.beta, params.delta
+
+    prune_result = prune_for_model(graph, alpha, beta, bi_side=False, technique=pruning)
+    pruned = prune_result.graph
+    stats = make_stats("FairBCEM" if search_pruning else "NSF", graph, prune_result)
+
+    results: List[Biclique] = []
+    lower_vertices = list(pruned.lower_vertices())
+    if not lower_vertices or pruned.num_upper == 0:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult(results, stats)
+
+    adjacency: Dict[int, FrozenSet[int]] = {
+        v: pruned.neighbors_of_lower(v) for v in lower_vertices
+    }
+    attribute_of = pruned.lower_attribute
+    candidate_keep_threshold = alpha if search_pruning else 1
+
+    def backtrack(
+        L: FrozenSet[int],
+        R: FrozenSet[int],
+        counts: Dict,
+        P: List[int],
+        Q: List[int],
+    ) -> None:
+        stats.search_nodes += 1
+        P = list(P)
+        Q = list(Q)
+        while P:
+            x = P.pop(0)
+            L_new = L & adjacency[x]
+            R_new = R | {x}
+            counts_new = dict(counts)
+            counts_new[attribute_of(x)] = counts_new.get(attribute_of(x), 0) + 1
+
+            feasible = True
+            if search_pruning and len(L_new) < alpha:
+                # Observation 5: the upper side can only shrink further.
+                feasible = False
+
+            fully_connected_excluded: List[int] = []
+            Q_new: List[int] = []
+            if feasible:
+                for q in Q:
+                    overlap = len(adjacency[q] & L_new)
+                    if L_new and overlap == len(L_new):
+                        fully_connected_excluded.append(q)
+                    if overlap >= candidate_keep_threshold:
+                        Q_new.append(q)
+                if search_pruning and domain:
+                    # Observation 2: if every attribute value has an excluded
+                    # vertex fully connected to L_new, no set grown in this
+                    # branch can ever be a *maximal* fair subset.
+                    values_covered = {attribute_of(q) for q in fully_connected_excluded}
+                    if all(a in values_covered for a in domain):
+                        feasible = False
+
+            if feasible:
+                fully_connected_candidates: List[int] = []
+                P_new: List[int] = []
+                for v in P:
+                    overlap = len(adjacency[v] & L_new)
+                    if L_new and overlap == len(L_new):
+                        fully_connected_candidates.append(v)
+                    if overlap >= candidate_keep_threshold:
+                        P_new.append(v)
+
+                if len(L_new) >= alpha and is_fair_counts(counts_new, domain, beta, delta):
+                    stats.candidates_checked += 1
+                    extension_pool = (
+                        set(R_new)
+                        | set(fully_connected_excluded)
+                        | set(fully_connected_candidates)
+                    )
+                    if is_maximal_fair_subset(
+                        R_new, extension_pool, attribute_of, domain, beta, delta
+                    ):
+                        results.append(Biclique(frozenset(L_new), frozenset(R_new)))
+
+                recurse = bool(P_new) and len(L_new) >= 1
+                if search_pruning and recurse:
+                    if len(L_new) < alpha:
+                        recurse = False
+                    else:
+                        available = dict(counts_new)
+                        for v in P_new:
+                            value = attribute_of(v)
+                            available[value] = available.get(value, 0) + 1
+                        if any(available.get(a, 0) < beta for a in domain):
+                            recurse = False
+                if recurse:
+                    backtrack(frozenset(L_new), R_new, counts_new, P_new, Q_new)
+
+            Q.append(x)
+
+    initial_candidates = order_lower_vertices(pruned, lower_vertices, ordering)
+    initial_upper = frozenset(pruned.upper_vertices())
+    initial_counts = {a: 0 for a in domain}
+    with recursion_limit(len(lower_vertices) + 1000):
+        backtrack(initial_upper, frozenset(), initial_counts, initial_candidates, [])
+
+    stats.elapsed_seconds = timer.elapsed()
+    return EnumerationResult(results, stats)

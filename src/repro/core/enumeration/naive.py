@@ -1,0 +1,44 @@
+"""Naive baselines ``NSF`` and ``BNSF``.
+
+The paper's experimental baselines keep the graph-reduction step (FCore /
+CFCore and their bi-side variants) but drop every search-space pruning rule
+(Observations 2, 4 and 5).  They are exponentially slower than the proposed
+algorithms and exist only so the benchmark harness can reproduce the
+"at least two orders of magnitude" comparisons of Figures 2 and 5.
+"""
+
+from __future__ import annotations
+
+from repro.core.enumeration.bfairbcem import bfair_bcem
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.models import EnumerationResult, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def nsf(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Naive single-side fair biclique enumeration (``NSF``)."""
+    result = fair_bcem(
+        graph, params, ordering=ordering, pruning=pruning, search_pruning=False
+    )
+    result.stats.algorithm = "NSF"
+    return result
+
+
+def bnsf(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Naive bi-side fair biclique enumeration (``BNSF``)."""
+    result = bfair_bcem(
+        graph, params, ordering=ordering, pruning=pruning, search_pruning=False
+    )
+    result.stats.algorithm = "BNSF"
+    return result

@@ -1,0 +1,133 @@
+"""``FairBCEMPro++`` / ``BFairBCEMPro++``: proportional fairness models.
+
+The proportional models (Definitions 5 and 6) additionally require every
+attribute value to hold at least a ``theta`` share of its side.  The
+algorithms are the ``++`` algorithms with the fair-subset machinery swapped
+for the proportional variant:
+
+* maximal *proportion-fair* subsets replace maximal fair subsets
+  (``CombinationPro``); the library uses the general count-vector
+  enumeration which is exact for any number of attribute values and reduces
+  to the paper's formula for two;
+* the fairness inspection of a candidate closure uses the proportional
+  predicate.
+
+The same structural arguments as for the non-proportional algorithms give
+soundness, completeness and non-redundancy (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.enumeration._common import Timer, make_stats, validate_alpha
+from repro.core.enumeration.mbea import enumerate_maximal_bicliques
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.fair_sets import (
+    count_vector,
+    enumerate_maximal_proportion_fair_subsets,
+    is_maximal_proportion_fair_subset,
+    is_proportion_fair_counts,
+)
+from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.pruning.cfcore import prune_for_model
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def fair_bcem_pro_pp(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all proportion single-side fair bicliques (PSSFBC).
+
+    ``params.theta`` is the proportionality threshold; with ``theta`` of
+    ``None`` or ``0`` the result coincides with ``FairBCEM++``.
+    """
+    validate_alpha(params.alpha)
+    timer = Timer()
+    domain = graph.lower_attribute_domain
+    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
+
+    prune_result = prune_for_model(graph, alpha, beta, bi_side=False, technique=pruning)
+    pruned = prune_result.graph
+    stats = make_stats("FairBCEMPro++", graph, prune_result)
+
+    results: List[Biclique] = []
+    if pruned.num_upper == 0 or pruned.num_lower == 0:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult(results, stats)
+
+    maximal_bicliques = enumerate_maximal_bicliques(
+        pruned,
+        min_upper_size=alpha,
+        min_lower_size=max(1, beta * len(domain)),
+        lower_value_minimums={a: beta for a in domain},
+        ordering=ordering,
+        stats=stats,
+    )
+    attribute_of = pruned.lower_attribute
+
+    for candidate in maximal_bicliques:
+        stats.maximal_bicliques_considered += 1
+        upper, closure = candidate.upper, candidate.lower
+        closure_counts = count_vector(closure, attribute_of, domain)
+        if any(closure_counts.get(a, 0) < beta for a in domain):
+            continue
+        if is_proportion_fair_counts(closure_counts, domain, beta, delta, theta):
+            results.append(Biclique(upper, closure))
+            continue
+        for fair_subset in enumerate_maximal_proportion_fair_subsets(
+            closure, attribute_of, domain, beta, delta, theta
+        ):
+            stats.candidates_checked += 1
+            if pruned.common_upper_neighbors(fair_subset) == upper:
+                results.append(Biclique(upper, fair_subset))
+
+    stats.elapsed_seconds = timer.elapsed()
+    return EnumerationResult(results, stats)
+
+
+def bfair_bcem_pro_pp(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+) -> EnumerationResult:
+    """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
+    validate_alpha(params.alpha)
+    timer = Timer()
+    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
+    upper_domain = graph.upper_attribute_domain
+    lower_domain = graph.lower_attribute_domain
+
+    prune_result = prune_for_model(graph, alpha, beta, bi_side=True, technique=pruning)
+    pruned = prune_result.graph
+    stats = make_stats("BFairBCEMPro++", graph, prune_result)
+
+    results: List[Biclique] = []
+    if pruned.num_upper == 0 or pruned.num_lower == 0:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult(results, stats)
+
+    single_side = fair_bcem_pro_pp(pruned, params, ordering=ordering, pruning=pruning)
+    stats.search_nodes += single_side.stats.search_nodes
+    stats.maximal_bicliques_considered += single_side.stats.maximal_bicliques_considered
+
+    attribute_upper = pruned.upper_attribute
+    attribute_lower = pruned.lower_attribute
+    for candidate in single_side.bicliques:
+        upper_side, lower_side = candidate.upper, candidate.lower
+        for fair_upper in enumerate_maximal_proportion_fair_subsets(
+            upper_side, attribute_upper, upper_domain, alpha, delta, theta
+        ):
+            stats.candidates_checked += 1
+            reachable_lower = pruned.common_lower_neighbors(fair_upper)
+            if is_maximal_proportion_fair_subset(
+                lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta, theta
+            ):
+                results.append(Biclique(fair_upper, lower_side))
+
+    stats.elapsed_seconds = timer.elapsed()
+    return EnumerationResult(results, stats)

@@ -1,0 +1,193 @@
+"""Brute-force reference enumerators.
+
+These follow Definitions 2-6 of the paper literally and are exponential in
+the graph size; they exist purely as ground truth for the test-suite (graphs
+up to roughly a dozen vertices per side).  None of the production algorithms
+depend on them.
+
+Strategy
+--------
+* *Maximal bicliques*: for every subset ``S`` of the lower side, the pair
+  ``(common_upper(S), closure)`` with
+  ``closure = {v : common_upper(S) ⊆ N(v)}`` is a maximal biclique, and every
+  maximal biclique arises this way.
+* *SSFBC / PSSFBC*: candidates are pairs ``(common_upper(R), R)`` for every
+  fair lower subset ``R`` with a large-enough common neighbourhood;
+  non-maximal candidates (properly contained in another candidate) are then
+  discarded.
+* *BSFBC / PBSFBC*: candidates are pairs ``(A, R)`` where ``R`` is a fair
+  lower subset and ``A`` a fair subset of ``common_upper(R)``; non-maximal
+  candidates are discarded pairwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Set
+
+from repro.core.fair_sets import (
+    is_fair_set,
+    is_proportion_fair_set,
+)
+from repro.core.models import Biclique, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+_DEFAULT_LIMIT = 16
+
+
+def _check_size(graph: AttributedBipartiteGraph, limit: int) -> None:
+    if graph.num_lower > limit or graph.num_upper > limit:
+        raise ValueError(
+            "reference enumerators are exponential; refuse to run on graphs "
+            f"with more than {limit} vertices per side "
+            f"(got |U|={graph.num_upper}, |V|={graph.num_lower})"
+        )
+
+
+def _subsets(items: Iterable[int], include_empty: bool = False):
+    items = sorted(items)
+    start = 0 if include_empty else 1
+    for size in range(start, len(items) + 1):
+        yield from itertools.combinations(items, size)
+
+
+def _drop_dominated(candidates: Set[Biclique]) -> List[Biclique]:
+    """Remove candidates properly contained in another candidate."""
+    result = []
+    for candidate in candidates:
+        dominated = any(
+            other is not candidate and other.properly_contains(candidate)
+            for other in candidates
+        )
+        if not dominated:
+            result.append(candidate)
+    return sorted(result, key=lambda b: b.key)
+
+
+def reference_maximal_bicliques(
+    graph: AttributedBipartiteGraph,
+    min_upper_size: int = 1,
+    min_lower_size: int = 1,
+    size_limit: int = _DEFAULT_LIMIT,
+) -> List[Biclique]:
+    """All maximal bicliques with non-empty sides (Definition 2)."""
+    _check_size(graph, size_limit)
+    found: Set[Biclique] = set()
+    for subset in _subsets(graph.lower_vertices()):
+        uppers = graph.common_upper_neighbors(subset)
+        if not uppers:
+            continue
+        closure = frozenset(
+            v for v in graph.lower_vertices() if uppers <= graph.neighbors_of_lower(v)
+        )
+        if closure:
+            found.add(Biclique(uppers, closure))
+    return sorted(
+        (
+            b
+            for b in found
+            if b.num_upper >= min_upper_size and b.num_lower >= min_lower_size
+        ),
+        key=lambda b: b.key,
+    )
+
+
+def reference_ssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    size_limit: int = _DEFAULT_LIMIT,
+) -> List[Biclique]:
+    """All single-side fair bicliques (Definition 3), brute force."""
+    return _reference_single_side(graph, params, proportional=False, size_limit=size_limit)
+
+
+def reference_pssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    size_limit: int = _DEFAULT_LIMIT,
+) -> List[Biclique]:
+    """All proportion single-side fair bicliques (Definition 5), brute force."""
+    return _reference_single_side(graph, params, proportional=True, size_limit=size_limit)
+
+
+def _reference_single_side(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    proportional: bool,
+    size_limit: int,
+) -> List[Biclique]:
+    _check_size(graph, size_limit)
+    domain = graph.lower_attribute_domain
+    theta = params.theta if proportional else None
+    candidates: Set[Biclique] = set()
+    for subset in _subsets(graph.lower_vertices()):
+        if proportional:
+            fair = is_proportion_fair_set(
+                subset, graph.lower_attribute, domain, params.beta, params.delta, theta
+            )
+        else:
+            fair = is_fair_set(subset, graph.lower_attribute, domain, params.beta, params.delta)
+        if not fair:
+            continue
+        uppers = graph.common_upper_neighbors(subset)
+        if len(uppers) < params.alpha:
+            continue
+        candidates.add(Biclique(uppers, frozenset(subset)))
+    return _drop_dominated(candidates)
+
+
+def reference_bsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    size_limit: int = _DEFAULT_LIMIT,
+) -> List[Biclique]:
+    """All bi-side fair bicliques (Definition 4), brute force."""
+    return _reference_bi_side(graph, params, proportional=False, size_limit=size_limit)
+
+
+def reference_pbsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    size_limit: int = _DEFAULT_LIMIT,
+) -> List[Biclique]:
+    """All proportion bi-side fair bicliques (Definition 6), brute force."""
+    return _reference_bi_side(graph, params, proportional=True, size_limit=size_limit)
+
+
+def _reference_bi_side(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    proportional: bool,
+    size_limit: int,
+) -> List[Biclique]:
+    _check_size(graph, size_limit)
+    lower_domain = graph.lower_attribute_domain
+    upper_domain = graph.upper_attribute_domain
+    theta = params.theta if proportional else None
+    candidates: Set[Biclique] = set()
+    for lower_subset in _subsets(graph.lower_vertices()):
+        if proportional:
+            lower_fair = is_proportion_fair_set(
+                lower_subset, graph.lower_attribute, lower_domain, params.beta, params.delta, theta
+            )
+        else:
+            lower_fair = is_fair_set(
+                lower_subset, graph.lower_attribute, lower_domain, params.beta, params.delta
+            )
+        if not lower_fair:
+            continue
+        uppers = graph.common_upper_neighbors(lower_subset)
+        if not uppers:
+            continue
+        for upper_subset in _subsets(uppers):
+            if proportional:
+                upper_fair = is_proportion_fair_set(
+                    upper_subset, graph.upper_attribute, upper_domain, params.alpha, params.delta, theta
+                )
+            else:
+                upper_fair = is_fair_set(
+                    upper_subset, graph.upper_attribute, upper_domain, params.alpha, params.delta
+                )
+            if upper_fair:
+                candidates.add(Biclique(frozenset(upper_subset), frozenset(lower_subset)))
+    return _drop_dominated(candidates)

@@ -1,0 +1,417 @@
+"""Fair sets, maximal fair subsets and their combinatorial enumeration.
+
+This module is the combinatorial heart of the ``++`` algorithms.  It
+implements, for attributed vertex sets:
+
+* the *fair set* predicate (Definition 11): every attribute value appears at
+  least ``k`` times and pairwise count differences are at most ``delta``;
+* the *proportion fair* variant used by the PSSFBC / PBSFBC models, which
+  additionally requires every value's share of the set to be at least
+  ``theta``;
+* the *maximal fair subset* test (Definition 12 / Algorithm 4 ``MFSCheck``);
+* ``Combination`` (Algorithm 7) and ``CombinationPro``: enumeration of all
+  maximal (proportion) fair subsets of a set.
+
+Count-vector view
+-----------------
+Whether a subset is a maximal fair subset depends only on how many vertices
+of each attribute value it contains.  For the plain fair model the feasible
+count vectors have a unique component-wise maximum
+
+``c*_a = min(|S_a|, m + delta)``  with  ``m = min_a |S_a|``
+
+(provided ``m >= k``), so a subset is maximal exactly when its count vector
+equals ``c*`` -- this is what :func:`maximal_fair_count_vector` computes and
+what Algorithm 7 exploits.  For the proportional model the feasible region is
+not component-wise closed and there can be several maximal count vectors
+(only when more than two attribute values exist); they are enumerated
+exhaustively by :func:`maximal_proportion_fair_count_vectors`, which reduces
+to the paper's closed form for two values.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.graph.attributes import AttributeValue
+
+AttributeOf = Callable[[int], AttributeValue]
+
+
+# ----------------------------------------------------------------------
+# predicates on count vectors
+# ----------------------------------------------------------------------
+def is_fair_counts(
+    counts: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> bool:
+    """Fair-set predicate (Definition 11) on a count vector."""
+    values = [counts.get(a, 0) for a in domain]
+    if not values:
+        return True
+    if any(count < k for count in values):
+        return False
+    return max(values) - min(values) <= delta
+
+
+def is_proportion_fair_counts(
+    counts: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> bool:
+    """Proportion fair predicate: fair plus per-value share at least ``theta``."""
+    if not is_fair_counts(counts, domain, k, delta):
+        return False
+    if theta is None or theta <= 0.0:
+        return True
+    total = sum(counts.get(a, 0) for a in domain)
+    if total == 0:
+        return True
+    return all(counts.get(a, 0) / total >= theta for a in domain)
+
+
+def count_vector(
+    vertices: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+) -> Dict[AttributeValue, int]:
+    """Count vector of ``vertices`` over ``domain``."""
+    counts = {a: 0 for a in domain}
+    for vertex in vertices:
+        value = attribute_of(vertex)
+        if value in counts:
+            counts[value] += 1
+        else:
+            counts[value] = 1
+    return counts
+
+
+def is_fair_set(
+    vertices: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> bool:
+    """Fair-set predicate on an explicit vertex set."""
+    return is_fair_counts(count_vector(vertices, attribute_of, domain), domain, k, delta)
+
+
+def is_proportion_fair_set(
+    vertices: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> bool:
+    """Proportion fair predicate on an explicit vertex set."""
+    return is_proportion_fair_counts(
+        count_vector(vertices, attribute_of, domain), domain, k, delta, theta
+    )
+
+
+# ----------------------------------------------------------------------
+# maximal fair subsets (plain fair model)
+# ----------------------------------------------------------------------
+def maximal_fair_count_vector(
+    class_sizes: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> Optional[Dict[AttributeValue, int]]:
+    """Unique maximal fair count vector of a set with the given class sizes.
+
+    Returns ``None`` when the set admits no fair subset at all (some class
+    smaller than ``k``).  Every fair subset's count vector is dominated by
+    the returned vector, and the returned vector is itself achievable, so a
+    subset of the set is a *maximal* fair subset exactly when its counts
+    match this vector.
+    """
+    if not domain:
+        return {}
+    sizes = {a: class_sizes.get(a, 0) for a in domain}
+    smallest = min(sizes.values())
+    if smallest < k:
+        return None
+    return {a: min(sizes[a], smallest + delta) for a in domain}
+
+
+def is_maximal_fair_subset(
+    subset: Iterable[int],
+    superset: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> bool:
+    """Maximal-fair-subset test (Definition 12).
+
+    ``subset`` must be contained in ``superset``; the function returns True
+    when ``subset`` is fair and no fair subset of ``superset`` strictly
+    contains it.
+    """
+    subset = set(subset)
+    superset_counts = count_vector(superset, attribute_of, domain)
+    subset_counts = count_vector(subset, attribute_of, domain)
+    if not is_fair_counts(subset_counts, domain, k, delta):
+        return False
+    target = maximal_fair_count_vector(superset_counts, domain, k, delta)
+    if target is None:
+        return False
+    return all(subset_counts.get(a, 0) == target[a] for a in domain)
+
+
+def mfs_check(
+    subset: Iterable[int],
+    superset: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> bool:
+    """Faithful implementation of the paper's Algorithm 4 (``MFSCheck``).
+
+    The caller is expected to have verified that ``subset`` satisfies the
+    ``delta`` balance constraint (the paper checks fairness before calling
+    MFSCheck); this routine checks the per-value minimum, then the two
+    extension conditions of Algorithm 4.  Kept alongside
+    :func:`is_maximal_fair_subset` for fidelity and cross-validation.
+    """
+    subset = set(subset)
+    superset = set(superset)
+    subset_counts = count_vector(subset, attribute_of, domain)
+    if any(subset_counts.get(a, 0) < k for a in domain):
+        return False
+    remaining = superset - subset
+    remaining_by_value = {a: [] for a in domain}
+    for vertex in remaining:
+        value = attribute_of(vertex)
+        if value in remaining_by_value:
+            remaining_by_value[value].append(vertex)
+    if domain and all(remaining_by_value[a] for a in domain):
+        return False
+    for value in domain:
+        if not remaining_by_value[value]:
+            continue
+        extended = dict(subset_counts)
+        extended[value] = extended.get(value, 0) + 1
+        if is_fair_counts(extended, domain, k, delta):
+            return False
+    return True
+
+
+def enumerate_maximal_fair_subsets(
+    superset: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> Iterator[FrozenSet[int]]:
+    """Enumerate all maximal fair subsets of ``superset`` (Algorithm 7).
+
+    Yields each maximal fair subset exactly once, as a frozenset.  When the
+    superset admits no fair subset the iterator is empty.
+    """
+    groups: Dict[AttributeValue, List[int]] = {a: [] for a in domain}
+    for vertex in superset:
+        value = attribute_of(vertex)
+        if value in groups:
+            groups[value].append(vertex)
+        else:
+            groups[value] = [vertex]
+    sizes = {a: len(groups[a]) for a in domain}
+    target = maximal_fair_count_vector(sizes, domain, k, delta)
+    if target is None:
+        return
+    per_class_choices = [
+        itertools.combinations(sorted(groups[a]), target[a]) for a in domain
+    ]
+    for chosen in itertools.product(*per_class_choices):
+        yield frozenset(itertools.chain.from_iterable(chosen))
+
+
+def count_maximal_fair_subsets(
+    class_sizes: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+) -> int:
+    """Number of maximal fair subsets without enumerating them."""
+    target = maximal_fair_count_vector(class_sizes, domain, k, delta)
+    if target is None:
+        return 0
+    product = 1
+    for value in domain:
+        product *= math.comb(class_sizes.get(value, 0), target[value])
+    return product
+
+
+# ----------------------------------------------------------------------
+# maximal proportion-fair subsets (PSSFBC / PBSFBC models)
+# ----------------------------------------------------------------------
+def combination_pro_count_vector(
+    class_sizes: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: float,
+) -> Optional[Dict[AttributeValue, int]]:
+    """Count vector used by the paper's ``CombinationPro`` (two-value case).
+
+    ``csize_a = min(|S_a|, msize + delta, floor(msize * (1 - theta) / theta))``
+    where ``msize`` is the smallest class size.  The formula is exact for two
+    attribute values, which is the setting of the paper's experiments; for
+    more values use :func:`maximal_proportion_fair_count_vectors`.
+    """
+    if not domain:
+        return {}
+    sizes = {a: class_sizes.get(a, 0) for a in domain}
+    msize = min(sizes.values())
+    if msize < k:
+        return None
+    if theta <= 0.0:
+        cap = None
+    else:
+        # A tiny epsilon guards against floating point round-off (e.g.
+        # 4 * 0.6 / 0.4 evaluating to 5.999...) so the cap matches the exact
+        # value of the paper's formula.
+        cap = math.floor(msize * (1.0 - theta) / theta + 1e-9)
+    vector = {}
+    for value in domain:
+        csize = min(sizes[value], msize + delta)
+        if cap is not None:
+            csize = min(csize, cap)
+        vector[value] = csize
+    return vector
+
+
+def feasible_proportion_fair_count_vectors(
+    class_sizes: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> Set[Tuple[int, ...]]:
+    """All proportion-fair count vectors achievable inside the class sizes.
+
+    Vectors are returned as tuples aligned with ``domain``.  The search space
+    is bounded because every feasible vector lies within ``delta`` of its own
+    minimum, which is at most the smallest class size.
+    """
+    if not domain:
+        return {()}
+    sizes = [class_sizes.get(a, 0) for a in domain]
+    smallest = min(sizes)
+    vectors: Set[Tuple[int, ...]] = set()
+    if smallest < k:
+        return vectors
+    for minimum in range(k, smallest + 1):
+        ranges = [range(minimum, min(size, minimum + delta) + 1) for size in sizes]
+        for combo in itertools.product(*ranges):
+            if min(combo) != minimum:
+                continue
+            if theta is not None and theta > 0.0:
+                total = sum(combo)
+                if total > 0 and any(c / total < theta for c in combo):
+                    continue
+            vectors.add(combo)
+    return vectors
+
+
+def maximal_proportion_fair_count_vectors(
+    class_sizes: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> List[Dict[AttributeValue, int]]:
+    """Maximal (undominated) proportion-fair count vectors.
+
+    A subset of a set with the given class sizes is a maximal proportion-fair
+    subset exactly when its count vector appears in the returned list.
+    """
+    feasible = feasible_proportion_fair_count_vectors(class_sizes, domain, k, delta, theta)
+    maximal: List[Tuple[int, ...]] = []
+    for candidate in feasible:
+        dominated = any(
+            other != candidate and all(o >= c for o, c in zip(other, candidate))
+            for other in feasible
+        )
+        if not dominated:
+            maximal.append(candidate)
+    return [dict(zip(domain, vector)) for vector in sorted(maximal)]
+
+
+def is_maximal_proportion_fair_subset(
+    subset: Iterable[int],
+    superset: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> bool:
+    """Maximality test for the proportional fairness model."""
+    subset = set(subset)
+    subset_counts = count_vector(subset, attribute_of, domain)
+    if not is_proportion_fair_counts(subset_counts, domain, k, delta, theta):
+        return False
+    superset_counts = count_vector(superset, attribute_of, domain)
+    subset_tuple = tuple(subset_counts.get(a, 0) for a in domain)
+    feasible = feasible_proportion_fair_count_vectors(
+        superset_counts, domain, k, delta, theta
+    )
+    return not any(
+        other != subset_tuple and all(o >= c for o, c in zip(other, subset_tuple))
+        for other in feasible
+    )
+
+
+def enumerate_maximal_proportion_fair_subsets(
+    superset: Iterable[int],
+    attribute_of: AttributeOf,
+    domain: Sequence[AttributeValue],
+    k: int,
+    delta: int,
+    theta: Optional[float],
+) -> Iterator[FrozenSet[int]]:
+    """Enumerate all maximal proportion-fair subsets of ``superset``.
+
+    Generalisation of ``CombinationPro``: for every maximal proportion-fair
+    count vector, every way of picking that many vertices per attribute value
+    is yielded.  Each maximal subset is produced exactly once (distinct count
+    vectors yield disjoint families of subsets).
+    """
+    groups: Dict[AttributeValue, List[int]] = {a: [] for a in domain}
+    for vertex in superset:
+        value = attribute_of(vertex)
+        if value in groups:
+            groups[value].append(vertex)
+        else:
+            groups[value] = [vertex]
+    sizes = {a: len(groups[a]) for a in domain}
+    for vector in maximal_proportion_fair_count_vectors(sizes, domain, k, delta, theta):
+        per_class_choices = [
+            itertools.combinations(sorted(groups[a]), vector[a]) for a in domain
+        ]
+        for chosen in itertools.product(*per_class_choices):
+            yield frozenset(itertools.chain.from_iterable(chosen))

@@ -1,0 +1,291 @@
+"""Result containers, parameter bundles and biclique-level fairness predicates.
+
+The vocabulary of the paper (Definitions 1-6) is expressed here as small,
+immutable value objects:
+
+* :class:`Biclique` -- a pair of vertex sets ``(upper, lower)``.
+* :class:`FairnessParams` -- the ``alpha``, ``beta``, ``delta`` (and optional
+  ``theta``) thresholds shared by every model.
+* :class:`EnumerationStats` / :class:`EnumerationResult` -- what the
+  enumeration algorithms return: the bicliques plus the bookkeeping the
+  experiments report (search-tree size, pruning effect, wall-clock time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.attributes import AttributeValue
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+@dataclass(frozen=True, order=True)
+class Biclique:
+    """A biclique ``C = (upper, lower)`` of a bipartite graph.
+
+    The object stores only the two vertex sets; by Definition 1 of the paper
+    every cross pair is an edge, which :meth:`is_biclique_of` can verify
+    against a concrete graph.
+    """
+
+    upper: FrozenSet[int] = field(compare=False)
+    lower: FrozenSet[int] = field(compare=False)
+    # canonical sorted key used for ordering / hashing / deduplication
+    key: Tuple[Tuple[int, ...], Tuple[int, ...]] = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "upper", frozenset(self.upper))
+        object.__setattr__(self, "lower", frozenset(self.lower))
+        object.__setattr__(
+            self, "key", (tuple(sorted(self.upper)), tuple(sorted(self.lower)))
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Biclique):
+            return NotImplemented
+        return self.key == other.key
+
+    @property
+    def num_upper(self) -> int:
+        """Size of the upper side ``|C(U)|``."""
+        return len(self.upper)
+
+    @property
+    def num_lower(self) -> int:
+        """Size of the lower side ``|C(V)|``."""
+        return len(self.lower)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices of the biclique."""
+        return len(self.upper) + len(self.lower)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of the (complete) biclique."""
+        return len(self.upper) * len(self.lower)
+
+    def contains(self, other: "Biclique") -> bool:
+        """True when ``other`` is a (not necessarily proper) sub-biclique."""
+        return other.upper <= self.upper and other.lower <= self.lower
+
+    def properly_contains(self, other: "Biclique") -> bool:
+        """True when ``other`` is a proper sub-biclique of ``self``."""
+        return self.contains(other) and (
+            self.upper != other.upper or self.lower != other.lower
+        )
+
+    def is_biclique_of(self, graph: AttributedBipartiteGraph) -> bool:
+        """Verify that every cross pair is an edge of ``graph``."""
+        return all(
+            graph.has_edge(u, v) for u in self.upper for v in self.lower
+        )
+
+    def describe(self, graph: AttributedBipartiteGraph) -> str:
+        """Human readable rendering using the graph's vertex labels."""
+        uppers = ", ".join(
+            f"{graph.upper_label(u)}[{graph.upper_attribute(u)}]" for u in sorted(self.upper)
+        )
+        lowers = ", ".join(
+            f"{graph.lower_label(v)}[{graph.lower_attribute(v)}]" for v in sorted(self.lower)
+        )
+        return f"upper: {{{uppers}}} | lower: {{{lowers}}}"
+
+
+class FairnessParamsError(ValueError):
+    """Raised when fairness parameters are inconsistent."""
+
+
+@dataclass(frozen=True)
+class FairnessParams:
+    """Thresholds of the fairness-aware biclique models.
+
+    Attributes
+    ----------
+    alpha:
+        Minimum upper-side size (single-side models) or minimum per-value
+        upper-side count (bi-side models).
+    beta:
+        Minimum per-value lower-side count.
+    delta:
+        Maximum pairwise difference between per-value counts on a fair side.
+    theta:
+        Optional proportionality threshold of the proportional models
+        (``|C(V)_a| / |C(V)| >= theta``); ``None`` for the non-proportional
+        models.
+    """
+
+    alpha: int
+    beta: int
+    delta: int
+    theta: Optional[float] = None
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta < 0 or self.delta < 0:
+            raise FairnessParamsError(
+                f"alpha, beta and delta must be non-negative, got "
+                f"({self.alpha}, {self.beta}, {self.delta})"
+            )
+        if self.theta is not None and not 0.0 <= self.theta <= 1.0:
+            raise FairnessParamsError(f"theta must be in [0, 1], got {self.theta}")
+
+    @property
+    def is_proportional(self) -> bool:
+        """True when a proportionality threshold is active."""
+        return self.theta is not None and self.theta > 0.0
+
+    def with_theta(self, theta: Optional[float]) -> "FairnessParams":
+        """Return a copy with a different ``theta``."""
+        return FairnessParams(self.alpha, self.beta, self.delta, theta)
+
+    def replace(self, **kwargs) -> "FairnessParams":
+        """Return a copy with the given fields replaced."""
+        values = {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "delta": self.delta,
+            "theta": self.theta,
+        }
+        values.update(kwargs)
+        return FairnessParams(**values)
+
+
+@dataclass
+class EnumerationStats:
+    """Bookkeeping collected while an enumeration algorithm runs."""
+
+    algorithm: str = ""
+    elapsed_seconds: float = 0.0
+    pruning_seconds: float = 0.0
+    search_nodes: int = 0
+    candidates_checked: int = 0
+    maximal_bicliques_considered: int = 0
+    upper_vertices_after_pruning: int = 0
+    lower_vertices_after_pruning: int = 0
+    upper_vertices_before_pruning: int = 0
+    lower_vertices_before_pruning: int = 0
+    peak_memory_bytes: int = 0
+
+    @property
+    def vertices_pruned(self) -> int:
+        """Total number of vertices removed by the pruning stage."""
+        before = self.upper_vertices_before_pruning + self.lower_vertices_before_pruning
+        after = self.upper_vertices_after_pruning + self.lower_vertices_after_pruning
+        return max(before - after, 0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form used by the reporting layer."""
+        return {
+            "algorithm": self.algorithm,
+            "elapsed_seconds": self.elapsed_seconds,
+            "pruning_seconds": self.pruning_seconds,
+            "search_nodes": self.search_nodes,
+            "candidates_checked": self.candidates_checked,
+            "maximal_bicliques_considered": self.maximal_bicliques_considered,
+            "upper_vertices_after_pruning": self.upper_vertices_after_pruning,
+            "lower_vertices_after_pruning": self.lower_vertices_after_pruning,
+            "vertices_pruned": self.vertices_pruned,
+            "peak_memory_bytes": self.peak_memory_bytes,
+        }
+
+
+@dataclass
+class EnumerationResult:
+    """Output of an enumeration algorithm: bicliques plus statistics."""
+
+    bicliques: List[Biclique]
+    stats: EnumerationStats
+
+    def __len__(self) -> int:
+        return len(self.bicliques)
+
+    def __iter__(self):
+        return iter(self.bicliques)
+
+    def as_set(self) -> FrozenSet[Biclique]:
+        """The result as a set (order-insensitive comparisons in tests)."""
+        return frozenset(self.bicliques)
+
+    def sorted(self) -> List[Biclique]:
+        """Bicliques in canonical (sorted-key) order."""
+        return sorted(self.bicliques, key=lambda b: b.key)
+
+
+# ----------------------------------------------------------------------
+# biclique-level fairness predicates (Definitions 3-6)
+# ----------------------------------------------------------------------
+def _counts(
+    vertices: Iterable[int],
+    attribute_of,
+    domain: Sequence[AttributeValue],
+) -> Dict[AttributeValue, int]:
+    counts = {value: 0 for value in domain}
+    for vertex in vertices:
+        value = attribute_of(vertex)
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def _side_is_fair(
+    counts: Dict[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+    minimum: int,
+    delta: int,
+    theta: Optional[float],
+    total: int,
+) -> bool:
+    values = [counts.get(a, 0) for a in domain]
+    if any(count < minimum for count in values):
+        return False
+    if values and max(values) - min(values) > delta:
+        return False
+    if theta is not None and theta > 0.0 and total > 0:
+        if any(count / total < theta for count in values):
+            return False
+    return True
+
+
+def biclique_is_fair_lower(
+    biclique: Biclique, graph: AttributedBipartiteGraph, params: FairnessParams
+) -> bool:
+    """Single-side fairness check (conditions (1)-(3) of Definitions 3 / 5).
+
+    Checks ``|C(U)| >= alpha`` plus the per-value count, difference and
+    (optionally) ratio constraints on the lower side.  The *maximality*
+    condition is not checked here -- that is the enumeration algorithms' job.
+    """
+    if biclique.num_upper < params.alpha:
+        return False
+    domain = graph.lower_attribute_domain
+    counts = _counts(biclique.lower, graph.lower_attribute, domain)
+    return _side_is_fair(
+        counts, domain, params.beta, params.delta, params.theta, biclique.num_lower
+    )
+
+
+def biclique_is_fair_upper(
+    biclique: Biclique, graph: AttributedBipartiteGraph, params: FairnessParams
+) -> bool:
+    """Upper-side fairness check of the bi-side models (Definitions 4 / 6)."""
+    domain = graph.upper_attribute_domain
+    counts = _counts(biclique.upper, graph.upper_attribute, domain)
+    return _side_is_fair(
+        counts, domain, params.alpha, params.delta, params.theta, biclique.num_upper
+    )
+
+
+def biclique_is_bi_fair(
+    biclique: Biclique, graph: AttributedBipartiteGraph, params: FairnessParams
+) -> bool:
+    """Bi-side fairness check (conditions (1)-(3) of Definitions 4 / 6)."""
+    if not biclique_is_fair_upper(biclique, graph, params):
+        return False
+    domain = graph.lower_attribute_domain
+    counts = _counts(biclique.lower, graph.lower_attribute, domain)
+    return _side_is_fair(
+        counts, domain, params.beta, params.delta, params.theta, biclique.num_lower
+    )

@@ -1,0 +1,37 @@
+"""Graph-reduction (pruning) techniques.
+
+Every fairness-aware biclique is contained in progressively tighter cores of
+the input graph; computing those cores first shrinks the search space of the
+enumeration algorithms without losing any result:
+
+* :func:`~repro.core.pruning.fcore.fair_core` -- fair α-β core (``FCore``,
+  Algorithm 1).
+* :func:`~repro.core.pruning.fcore.bi_fair_core` -- bi-fair α-β core
+  (``BFCore``, Definition 13).
+* :func:`~repro.core.pruning.colorful_core.ego_colorful_core` -- ego
+  colorful k-core peeling on a one-mode attributed graph (Definition 10).
+* :func:`~repro.core.pruning.cfcore.colorful_fair_core` -- colorful fair α-β
+  core (``CFCore``, Algorithm 2).
+* :func:`~repro.core.pruning.cfcore.bi_colorful_fair_core` -- bi-side
+  variant (``BCFCore``).
+"""
+
+from repro.core.pruning.colorful_core import ego_colorful_core, ego_colorful_degrees
+from repro.core.pruning.cfcore import (
+    PruningResult,
+    bi_colorful_fair_core,
+    colorful_fair_core,
+    prune_for_model,
+)
+from repro.core.pruning.fcore import bi_fair_core, fair_core
+
+__all__ = [
+    "PruningResult",
+    "bi_colorful_fair_core",
+    "bi_fair_core",
+    "colorful_fair_core",
+    "ego_colorful_core",
+    "ego_colorful_degrees",
+    "fair_core",
+    "prune_for_model",
+]

@@ -1,0 +1,216 @@
+"""Colorful fair α-β core pruning (Algorithm 2) and its bi-side variant.
+
+``CFCore`` strengthens ``FCore`` by exploiting the clique structure any fair
+biclique induces on the fair side:
+
+1. compute the fair α-β core (Algorithm 1);
+2. build the 2-hop projection graph ``H`` over the fair (lower) side
+   (Algorithm 3) -- two vertices are adjacent when they share at least
+   ``alpha`` common neighbours;
+3. drop projection vertices of degree below ``|A(V)| * beta - 1`` (a fair
+   biclique has at least ``|A(V)| * beta`` fair-side vertices);
+4. color ``H`` greedily and peel to the ego colorful β-core (Definition 10);
+5. remove the lower-side vertices eliminated in steps 3-4 from the bipartite
+   graph and run ``FCore`` once more to propagate the reduction to the upper
+   side.
+
+``BCFCore`` repeats the projection/peeling step for both sides using the
+per-attribute 2-hop graph of Algorithm 8 and the bi-fair core of
+Definition 13.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Set, Tuple
+
+from repro.core.pruning.colorful_core import ego_colorful_core
+from repro.core.pruning.fcore import bi_fair_core, fair_core
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.projection import build_bi_two_hop_graph, build_two_hop_graph
+
+
+@dataclass
+class PruningResult:
+    """Outcome of a pruning pipeline run."""
+
+    graph: AttributedBipartiteGraph
+    upper_before: int
+    lower_before: int
+    upper_after: int
+    lower_after: int
+    elapsed_seconds: float
+    technique: str
+    stages: dict = field(default_factory=dict)
+
+    @property
+    def vertices_before(self) -> int:
+        """Total vertex count of the input graph."""
+        return self.upper_before + self.lower_before
+
+    @property
+    def vertices_after(self) -> int:
+        """Total vertex count of the pruned graph."""
+        return self.upper_after + self.lower_after
+
+    @property
+    def vertices_removed(self) -> int:
+        """Number of vertices removed by the pruning."""
+        return self.vertices_before - self.vertices_after
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of vertices removed (0 when the graph was empty)."""
+        return self.vertices_removed / self.vertices_before if self.vertices_before else 0.0
+
+
+def _finish(
+    graph: AttributedBipartiteGraph,
+    upper_keep: Set[int],
+    lower_keep: Set[int],
+    started: float,
+    technique: str,
+    stages: dict,
+) -> PruningResult:
+    pruned = graph.induced_subgraph(upper_keep, lower_keep)
+    return PruningResult(
+        graph=pruned,
+        upper_before=graph.num_upper,
+        lower_before=graph.num_lower,
+        upper_after=pruned.num_upper,
+        lower_after=pruned.num_lower,
+        elapsed_seconds=time.perf_counter() - started,
+        technique=technique,
+        stages=stages,
+    )
+
+
+def fair_core_pruning(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int
+) -> PruningResult:
+    """Run ``FCore`` and package the result."""
+    started = time.perf_counter()
+    upper_keep, lower_keep = fair_core(graph, alpha, beta)
+    return _finish(graph, upper_keep, lower_keep, started, "fcore", {})
+
+
+def bi_fair_core_pruning(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int
+) -> PruningResult:
+    """Run ``BFCore`` and package the result."""
+    started = time.perf_counter()
+    upper_keep, lower_keep = bi_fair_core(graph, alpha, beta)
+    return _finish(graph, upper_keep, lower_keep, started, "bfcore", {})
+
+
+def colorful_fair_core(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int
+) -> PruningResult:
+    """Colorful fair α-β core pruning (``CFCore``, Algorithm 2)."""
+    started = time.perf_counter()
+    lower_domain = graph.lower_attribute_domain
+    stages: dict = {}
+
+    upper_keep, lower_keep = fair_core(graph, alpha, beta)
+    stages["after_fcore"] = (len(upper_keep), len(lower_keep))
+    core = graph.induced_subgraph(upper_keep, lower_keep)
+
+    if core.num_lower == 0 or core.num_upper == 0:
+        return _finish(graph, set(), set(), started, "cfcore", stages)
+
+    projection = build_two_hop_graph(core, alpha)
+    degree_threshold = len(lower_domain) * beta - 1
+    survivors = {
+        v for v in projection.vertices() if projection.degree(v) >= degree_threshold
+    }
+    projection = projection.induced_subgraph(survivors)
+    stages["after_projection_degree"] = len(survivors)
+
+    colorful = ego_colorful_core(projection, beta, domain=lower_domain)
+    stages["after_ego_colorful_core"] = len(colorful)
+
+    final_upper, final_lower = fair_core(
+        core.induced_subgraph(None, colorful), alpha, beta
+    )
+    stages["after_second_fcore"] = (len(final_upper), len(final_lower))
+    return _finish(graph, final_upper, final_lower, started, "cfcore", stages)
+
+
+def bi_colorful_fair_core(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int
+) -> PruningResult:
+    """Bi-side colorful fair α-β core pruning (``BCFCore``)."""
+    started = time.perf_counter()
+    lower_domain = graph.lower_attribute_domain
+    upper_domain = graph.upper_attribute_domain
+    stages: dict = {}
+
+    upper_keep, lower_keep = bi_fair_core(graph, alpha, beta)
+    stages["after_bfcore"] = (len(upper_keep), len(lower_keep))
+    core = graph.induced_subgraph(upper_keep, lower_keep)
+
+    if core.num_lower == 0 or core.num_upper == 0:
+        return _finish(graph, set(), set(), started, "bcfcore", stages)
+
+    # Lower-side projection: common neighbours per upper attribute value.
+    lower_projection = build_bi_two_hop_graph(core, alpha, fair_side="lower")
+    lower_threshold = len(lower_domain) * beta - 1
+    lower_survivors = {
+        v
+        for v in lower_projection.vertices()
+        if lower_projection.degree(v) >= lower_threshold
+    }
+    lower_projection = lower_projection.induced_subgraph(lower_survivors)
+    lower_core = ego_colorful_core(lower_projection, beta, domain=lower_domain)
+    stages["lower_after_ego_colorful_core"] = len(lower_core)
+    core = core.induced_subgraph(None, lower_core)
+
+    if core.num_lower == 0 or core.num_upper == 0:
+        return _finish(graph, set(), set(), started, "bcfcore", stages)
+
+    # Upper-side projection: common neighbours per lower attribute value.
+    upper_projection = build_bi_two_hop_graph(core, beta, fair_side="upper")
+    upper_threshold = len(upper_domain) * alpha - 1
+    upper_survivors = {
+        u
+        for u in upper_projection.vertices()
+        if upper_projection.degree(u) >= upper_threshold
+    }
+    upper_projection = upper_projection.induced_subgraph(upper_survivors)
+    upper_core = ego_colorful_core(upper_projection, alpha, domain=upper_domain)
+    stages["upper_after_ego_colorful_core"] = len(upper_core)
+    core = core.induced_subgraph(upper_core, None)
+
+    final_upper, final_lower = bi_fair_core(core, alpha, beta)
+    stages["after_second_bfcore"] = (len(final_upper), len(final_lower))
+    return _finish(graph, final_upper, final_lower, started, "bcfcore", stages)
+
+
+def prune_for_model(
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    bi_side: bool = False,
+    technique: str = "colorful",
+) -> PruningResult:
+    """Dispatch helper used by the enumeration algorithms.
+
+    ``technique`` is one of ``"none"``, ``"core"`` (FCore / BFCore) or
+    ``"colorful"`` (CFCore / BCFCore).
+    """
+    if technique == "none":
+        return PruningResult(
+            graph=graph,
+            upper_before=graph.num_upper,
+            lower_before=graph.num_lower,
+            upper_after=graph.num_upper,
+            lower_after=graph.num_lower,
+            elapsed_seconds=0.0,
+            technique="none",
+        )
+    if technique == "core":
+        return bi_fair_core_pruning(graph, alpha, beta) if bi_side else fair_core_pruning(graph, alpha, beta)
+    if technique == "colorful":
+        return bi_colorful_fair_core(graph, alpha, beta) if bi_side else colorful_fair_core(graph, alpha, beta)
+    raise ValueError(f"unknown pruning technique {technique!r}")

@@ -1,0 +1,52 @@
+"""Dataset suite.
+
+The paper evaluates on five KONECT graphs (Youtube, Twitter, IMDB, Wiki-cat,
+DBLP) plus three case-study datasets (DBLP authorship, a Kaggle job
+recommendation dump and a Kaggle movie rating dump).  None of these can be
+downloaded in an offline environment, so this subpackage provides synthetic
+stand-ins that exercise the identical code paths:
+
+* :mod:`repro.datasets.registry` -- named, scaled-down synthetic analogues of
+  the five benchmark graphs with per-dataset default parameters (Table I).
+* :mod:`repro.datasets.recommend` -- a collaborative-filtering recommender
+  plus synthetic user/item data with popularity / nationality / age
+  attributes, used by the Jobs and Movies case studies (Fig. 10).
+* :mod:`repro.datasets.dblp` -- a synthetic collaboration-network builder
+  with seniority and research-area attributes, used by the DBLP case study
+  (Fig. 9).
+
+See DESIGN.md §3 for why the substitution preserves the behaviour the
+benchmarks measure.
+"""
+
+from repro.datasets.dblp import build_collaboration_graph
+from repro.datasets.recommend import (
+    CollaborativeFilteringRecommender,
+    RatingData,
+    build_recommendation_graph,
+    synthetic_job_ratings,
+    synthetic_movie_ratings,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_table,
+    get_dataset_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "CollaborativeFilteringRecommender",
+    "DATASETS",
+    "DatasetSpec",
+    "RatingData",
+    "build_collaboration_graph",
+    "build_recommendation_graph",
+    "dataset_names",
+    "dataset_table",
+    "get_dataset_spec",
+    "load_dataset",
+    "synthetic_job_ratings",
+    "synthetic_movie_ratings",
+]

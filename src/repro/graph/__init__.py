@@ -1,0 +1,44 @@
+"""Graph substrates used by the fairness-aware biclique algorithms.
+
+This subpackage contains everything the enumeration algorithms stand on:
+
+* :mod:`repro.graph.bipartite` -- the attributed bipartite graph store.
+* :mod:`repro.graph.unipartite` -- attributed (one-mode) graphs used for the
+  2-hop projection graphs of the colorful-core pruning.
+* :mod:`repro.graph.coloring` -- greedy degree-ordered graph coloring.
+* :mod:`repro.graph.projection` -- 2-hop projection graph construction
+  (Algorithms 3 and 8 of the paper).
+* :mod:`repro.graph.generators` -- synthetic attributed bipartite graph
+  generators used as dataset stand-ins.
+* :mod:`repro.graph.io` -- edge-list readers and writers.
+"""
+
+from repro.graph.attributes import AttributeTable, count_by_value
+from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
+from repro.graph.coloring import greedy_coloring
+from repro.graph.generators import (
+    random_bipartite_graph,
+    power_law_bipartite_graph,
+    block_bipartite_graph,
+    planted_biclique_graph,
+)
+from repro.graph.projection import (
+    build_two_hop_graph,
+    build_bi_two_hop_graph,
+)
+from repro.graph.unipartite import AttributedGraph
+
+__all__ = [
+    "AttributeTable",
+    "AttributedBipartiteGraph",
+    "AttributedGraph",
+    "BipartiteGraphError",
+    "block_bipartite_graph",
+    "build_bi_two_hop_graph",
+    "build_two_hop_graph",
+    "count_by_value",
+    "greedy_coloring",
+    "planted_biclique_graph",
+    "power_law_bipartite_graph",
+    "random_bipartite_graph",
+]

@@ -1,0 +1,118 @@
+"""Attribute bookkeeping for attributed graphs.
+
+Every vertex of an attributed (bipartite) graph carries exactly one
+categorical attribute value.  The fairness models of the paper are defined in
+terms of *per-value counts* inside vertex sets, so this module provides a
+small, well-tested table abstraction plus counting helpers that the rest of
+the library shares.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+AttributeValue = Hashable
+
+
+class AttributeTable:
+    """Immutable mapping from vertex id to attribute value.
+
+    Parameters
+    ----------
+    values:
+        Either a mapping ``{vertex_id: value}`` or a sequence indexed by the
+        vertex id (vertex ids must then be ``0..len(values)-1``).
+
+    The table also exposes the *domain* of the attribute (the sorted tuple of
+    distinct values), which the fairness predicates iterate over.
+    """
+
+    __slots__ = ("_values", "_domain")
+
+    def __init__(self, values: Mapping[int, AttributeValue] | Sequence[AttributeValue]):
+        if isinstance(values, Mapping):
+            self._values: Dict[int, AttributeValue] = dict(values)
+        else:
+            self._values = {index: value for index, value in enumerate(values)}
+        self._domain: Tuple[AttributeValue, ...] = tuple(
+            sorted(set(self._values.values()), key=repr)
+        )
+
+    def __getitem__(self, vertex: int) -> AttributeValue:
+        return self._values[vertex]
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeTable):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AttributeTable({len(self._values)} vertices, domain={self._domain})"
+
+    def get(self, vertex: int, default: AttributeValue = None) -> AttributeValue:
+        """Return the value of ``vertex`` or ``default`` when absent."""
+        return self._values.get(vertex, default)
+
+    @property
+    def domain(self) -> Tuple[AttributeValue, ...]:
+        """Sorted tuple of distinct attribute values present in the table."""
+        return self._domain
+
+    def items(self):
+        """Iterate over ``(vertex, value)`` pairs."""
+        return self._values.items()
+
+    def vertices(self) -> Iterable[int]:
+        """Iterate over vertex ids known to the table."""
+        return self._values.keys()
+
+    def restricted_to(self, vertices: Iterable[int]) -> "AttributeTable":
+        """Return a new table containing only ``vertices``.
+
+        The domain of the new table is recomputed from the surviving
+        vertices; callers that need the *original* domain (e.g. the fairness
+        predicates, which must still see attribute values whose count dropped
+        to zero) should keep a reference to the original domain instead.
+        """
+        keep = set(vertices)
+        return AttributeTable({v: a for v, a in self._values.items() if v in keep})
+
+    def count_by_value(self, vertices: Iterable[int]) -> Counter:
+        """Count how many of ``vertices`` carry each attribute value."""
+        return Counter(self._values[v] for v in vertices)
+
+    def vertices_with_value(self, value: AttributeValue) -> Tuple[int, ...]:
+        """Return all vertices carrying ``value`` (sorted by id)."""
+        return tuple(sorted(v for v, a in self._values.items() if a == value))
+
+    def group_by_value(self, vertices: Iterable[int]) -> Dict[AttributeValue, list]:
+        """Partition ``vertices`` into lists keyed by their attribute value."""
+        groups: Dict[AttributeValue, list] = {}
+        for vertex in vertices:
+            groups.setdefault(self._values[vertex], []).append(vertex)
+        return groups
+
+    def as_dict(self) -> Dict[int, AttributeValue]:
+        """Return a copy of the underlying mapping."""
+        return dict(self._values)
+
+
+def count_by_value(
+    vertices: Iterable[int], attributes: Mapping[int, AttributeValue]
+) -> Counter:
+    """Count attribute values of ``vertices`` under ``attributes``.
+
+    Thin functional counterpart of :meth:`AttributeTable.count_by_value`,
+    usable with plain dictionaries.
+    """
+    return Counter(attributes[v] for v in vertices)

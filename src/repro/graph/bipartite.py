@@ -1,0 +1,427 @@
+"""Attributed bipartite graph store.
+
+This module implements the data substrate every algorithm in the library is
+built on: an undirected, unweighted, attributed bipartite graph
+``G = (U, V, E, A)`` in the sense of Section II of the paper.
+
+Design notes
+------------
+* Upper-side and lower-side vertices live in two *independent* integer id
+  spaces.  The id spaces do not need to be contiguous, which makes induced
+  subgraphs (the output of the core pruning algorithms) cheap: the surviving
+  vertices simply keep their original ids.
+* Adjacency is stored as ``frozenset`` per vertex.  The enumeration
+  algorithms are intersection-heavy, and frozensets give the fastest pure
+  Python set algebra while guaranteeing that callers cannot mutate the graph
+  behind the library's back.
+* Each side carries exactly one categorical attribute per vertex
+  (:class:`~repro.graph.attributes.AttributeTable`), matching the paper's
+  model where ``A(G) = {A_U, A_V}``.
+* Optional human-readable labels are kept for the case studies (author
+  names, job titles, movie titles) but are never used by the algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.graph.attributes import AttributeTable, AttributeValue
+
+
+class BipartiteGraphError(ValueError):
+    """Raised when a graph is constructed from inconsistent inputs."""
+
+
+Edge = Tuple[int, int]
+
+
+class AttributedBipartiteGraph:
+    """Undirected, unweighted, vertex-attributed bipartite graph.
+
+    Parameters
+    ----------
+    upper_adjacency:
+        Mapping from upper-side vertex id to an iterable of lower-side
+        neighbour ids.  Vertices with no neighbours must still appear (with
+        an empty iterable) if they should exist in the graph.
+    lower_vertices:
+        Optional iterable of lower-side vertex ids.  Lower vertices that
+        appear in ``upper_adjacency`` are always included; this parameter
+        additionally declares isolated lower vertices.
+    upper_attributes / lower_attributes:
+        Mapping (or sequence) giving each vertex its attribute value.  Every
+        vertex of the graph must be covered.
+    upper_labels / lower_labels:
+        Optional mapping from vertex id to a human readable label.
+    """
+
+    __slots__ = (
+        "_upper_adj",
+        "_lower_adj",
+        "_upper_attrs",
+        "_lower_attrs",
+        "_upper_labels",
+        "_lower_labels",
+        "_num_edges",
+    )
+
+    def __init__(
+        self,
+        upper_adjacency: Mapping[int, Iterable[int]],
+        upper_attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        lower_attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        lower_vertices: Optional[Iterable[int]] = None,
+        upper_labels: Optional[Mapping[int, str]] = None,
+        lower_labels: Optional[Mapping[int, str]] = None,
+    ):
+        lower_adj: Dict[int, set] = {v: set() for v in (lower_vertices or ())}
+        upper_adj: Dict[int, FrozenSet[int]] = {}
+        num_edges = 0
+        for u, neighbours in upper_adjacency.items():
+            frozen = frozenset(neighbours)
+            upper_adj[u] = frozen
+            num_edges += len(frozen)
+            for v in frozen:
+                lower_adj.setdefault(v, set()).add(u)
+        self._upper_adj: Dict[int, FrozenSet[int]] = upper_adj
+        self._lower_adj: Dict[int, FrozenSet[int]] = {
+            v: frozenset(us) for v, us in lower_adj.items()
+        }
+        self._num_edges = num_edges
+
+        self._upper_attrs = self._build_attribute_table(
+            upper_attributes, self._upper_adj.keys(), side="upper"
+        )
+        self._lower_attrs = self._build_attribute_table(
+            lower_attributes, self._lower_adj.keys(), side="lower"
+        )
+        self._upper_labels: Dict[int, str] = dict(upper_labels or {})
+        self._lower_labels: Dict[int, str] = dict(lower_labels or {})
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_attribute_table(
+        attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        vertices: Iterable[int],
+        side: str,
+    ) -> AttributeTable:
+        table = attributes if isinstance(attributes, AttributeTable) else AttributeTable(attributes)
+        missing = [v for v in vertices if v not in table]
+        if missing:
+            raise BipartiteGraphError(
+                f"{side}-side attribute table is missing vertices {sorted(missing)[:5]}"
+                f"{'...' if len(missing) > 5 else ''}"
+            )
+        return table
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        upper_attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        lower_attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        upper_vertices: Optional[Iterable[int]] = None,
+        lower_vertices: Optional[Iterable[int]] = None,
+        upper_labels: Optional[Mapping[int, str]] = None,
+        lower_labels: Optional[Mapping[int, str]] = None,
+    ) -> "AttributedBipartiteGraph":
+        """Build a graph from an iterable of ``(upper, lower)`` edges."""
+        adjacency: Dict[int, set] = {u: set() for u in (upper_vertices or ())}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+        return cls(
+            adjacency,
+            upper_attributes,
+            lower_attributes,
+            lower_vertices=lower_vertices,
+            upper_labels=upper_labels,
+            lower_labels=lower_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_upper(self) -> int:
+        """Number of upper-side vertices ``|U|``."""
+        return len(self._upper_adj)
+
+    @property
+    def num_lower(self) -> int:
+        """Number of lower-side vertices ``|V|``."""
+        return len(self._lower_adj)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices ``|U| + |V|``."""
+        return self.num_upper + self.num_lower
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def density(self) -> float:
+        """Edge density ``|E| / (|U| * |V|)`` (0 for degenerate graphs)."""
+        cells = self.num_upper * self.num_lower
+        return self._num_edges / cells if cells else 0.0
+
+    def upper_vertices(self) -> Tuple[int, ...]:
+        """All upper-side vertex ids, sorted."""
+        return tuple(sorted(self._upper_adj))
+
+    def lower_vertices(self) -> Tuple[int, ...]:
+        """All lower-side vertex ids, sorted."""
+        return tuple(sorted(self._lower_adj))
+
+    def has_upper(self, u: int) -> bool:
+        """True when ``u`` is an upper-side vertex of this graph."""
+        return u in self._upper_adj
+
+    def has_lower(self, v: int) -> bool:
+        """True when ``v`` is a lower-side vertex of this graph."""
+        return v in self._lower_adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge ``(u, v)`` exists."""
+        neighbours = self._upper_adj.get(u)
+        return neighbours is not None and v in neighbours
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all ``(upper, lower)`` edges."""
+        for u, neighbours in self._upper_adj.items():
+            for v in neighbours:
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def neighbors_of_upper(self, u: int) -> FrozenSet[int]:
+        """Lower-side neighbours ``N(u)`` of an upper vertex."""
+        return self._upper_adj[u]
+
+    def neighbors_of_lower(self, v: int) -> FrozenSet[int]:
+        """Upper-side neighbours ``N(v)`` of a lower vertex."""
+        return self._lower_adj[v]
+
+    def degree_upper(self, u: int) -> int:
+        """Degree of an upper vertex."""
+        return len(self._upper_adj[u])
+
+    def degree_lower(self, v: int) -> int:
+        """Degree of a lower vertex."""
+        return len(self._lower_adj[v])
+
+    def common_lower_neighbors(self, uppers: Iterable[int]) -> FrozenSet[int]:
+        """Lower vertices adjacent to *every* vertex in ``uppers``.
+
+        For an empty input the whole lower side is returned, matching the
+        convention that an empty biclique side imposes no constraint.
+        """
+        uppers = list(uppers)
+        if not uppers:
+            return frozenset(self._lower_adj)
+        result = set(self._upper_adj[uppers[0]])
+        for u in uppers[1:]:
+            result &= self._upper_adj[u]
+            if not result:
+                break
+        return frozenset(result)
+
+    def common_upper_neighbors(self, lowers: Iterable[int]) -> FrozenSet[int]:
+        """Upper vertices adjacent to *every* vertex in ``lowers``."""
+        lowers = list(lowers)
+        if not lowers:
+            return frozenset(self._upper_adj)
+        result = set(self._lower_adj[lowers[0]])
+        for v in lowers[1:]:
+            result &= self._lower_adj[v]
+            if not result:
+                break
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    # attributes
+    # ------------------------------------------------------------------
+    @property
+    def upper_attributes(self) -> AttributeTable:
+        """Attribute table of the upper side (``A_U``)."""
+        return self._upper_attrs
+
+    @property
+    def lower_attributes(self) -> AttributeTable:
+        """Attribute table of the lower side (``A_V``)."""
+        return self._lower_attrs
+
+    def upper_attribute(self, u: int) -> AttributeValue:
+        """Attribute value ``u.val`` of an upper vertex."""
+        return self._upper_attrs[u]
+
+    def lower_attribute(self, v: int) -> AttributeValue:
+        """Attribute value ``v.val`` of a lower vertex."""
+        return self._lower_attrs[v]
+
+    @property
+    def upper_attribute_domain(self) -> Tuple[AttributeValue, ...]:
+        """Distinct attribute values on the upper side, ``A(U)``."""
+        return self._upper_attrs.domain
+
+    @property
+    def lower_attribute_domain(self) -> Tuple[AttributeValue, ...]:
+        """Distinct attribute values on the lower side, ``A(V)``."""
+        return self._lower_attrs.domain
+
+    def upper_label(self, u: int) -> str:
+        """Human readable label of an upper vertex (falls back to the id)."""
+        return self._upper_labels.get(u, str(u))
+
+    def lower_label(self, v: int) -> str:
+        """Human readable label of a lower vertex (falls back to the id)."""
+        return self._lower_labels.get(v, str(v))
+
+    # ------------------------------------------------------------------
+    # attribute degrees (Definition 7)
+    # ------------------------------------------------------------------
+    def attribute_degree_upper(self, u: int, value: AttributeValue) -> int:
+        """Number of lower neighbours of ``u`` whose attribute equals ``value``."""
+        lower_attrs = self._lower_attrs
+        return sum(1 for v in self._upper_adj[u] if lower_attrs[v] == value)
+
+    def attribute_degree_lower(self, v: int, value: AttributeValue) -> int:
+        """Number of upper neighbours of ``v`` whose attribute equals ``value``."""
+        upper_attrs = self._upper_attrs
+        return sum(1 for u in self._lower_adj[v] if upper_attrs[u] == value)
+
+    def attribute_degrees_upper(self, u: int) -> Counter:
+        """Counter of lower-neighbour attribute values for upper vertex ``u``."""
+        lower_attrs = self._lower_attrs
+        return Counter(lower_attrs[v] for v in self._upper_adj[u])
+
+    def attribute_degrees_lower(self, v: int) -> Counter:
+        """Counter of upper-neighbour attribute values for lower vertex ``v``."""
+        upper_attrs = self._upper_attrs
+        return Counter(upper_attrs[u] for u in self._lower_adj[v])
+
+    def min_attribute_degree_upper(self, u: int) -> int:
+        """Minimum attribute degree of ``u`` over the *lower* attribute domain."""
+        counts = self.attribute_degrees_upper(u)
+        return min((counts.get(a, 0) for a in self.lower_attribute_domain), default=0)
+
+    def min_attribute_degree_lower(self, v: int) -> int:
+        """Minimum attribute degree of ``v`` over the *upper* attribute domain."""
+        counts = self.attribute_degrees_lower(v)
+        return min((counts.get(a, 0) for a in self.upper_attribute_domain), default=0)
+
+    # ------------------------------------------------------------------
+    # subgraphs and sampling
+    # ------------------------------------------------------------------
+    def induced_subgraph(
+        self,
+        upper_keep: Optional[Iterable[int]] = None,
+        lower_keep: Optional[Iterable[int]] = None,
+    ) -> "AttributedBipartiteGraph":
+        """Vertex-induced subgraph.
+
+        ``None`` on either side means "keep the whole side".  Surviving
+        vertices keep their original ids, labels and attribute values.
+        """
+        upper_set = set(self._upper_adj) if upper_keep is None else set(upper_keep) & set(self._upper_adj)
+        lower_set = set(self._lower_adj) if lower_keep is None else set(lower_keep) & set(self._lower_adj)
+        adjacency = {
+            u: self._upper_adj[u] & lower_set for u in upper_set
+        }
+        return AttributedBipartiteGraph(
+            adjacency,
+            {u: self._upper_attrs[u] for u in upper_set},
+            {v: self._lower_attrs[v] for v in lower_set},
+            lower_vertices=lower_set,
+            upper_labels={u: l for u, l in self._upper_labels.items() if u in upper_set},
+            lower_labels={v: l for v, l in self._lower_labels.items() if v in lower_set},
+        )
+
+    def edge_sampled_subgraph(
+        self, fraction: float, seed: Optional[int] = None
+    ) -> "AttributedBipartiteGraph":
+        """Subgraph keeping a random ``fraction`` of the edges.
+
+        Used by the scalability experiment (Fig. 7 of the paper), which
+        evaluates the algorithms on 20%-100% edge samples.  Vertices are all
+        kept (isolated vertices are pruned immediately by the cores anyway).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise BipartiteGraphError(f"fraction must be in [0, 1], got {fraction}")
+        rng = random.Random(seed)
+        all_edges = list(self.edges())
+        keep_count = int(round(fraction * len(all_edges)))
+        kept = rng.sample(all_edges, keep_count) if keep_count < len(all_edges) else all_edges
+        return AttributedBipartiteGraph.from_edges(
+            kept,
+            self._upper_attrs,
+            self._lower_attrs,
+            upper_vertices=self._upper_adj.keys(),
+            lower_vertices=self._lower_adj.keys(),
+            upper_labels=self._upper_labels,
+            lower_labels=self._lower_labels,
+        )
+
+    def swapped_sides(self) -> "AttributedBipartiteGraph":
+        """Return the graph with upper and lower sides exchanged.
+
+        Handy when the "fair side" of a dataset is naturally the upper side:
+        the enumeration algorithms always treat ``V`` (the lower side) as the
+        fair side for the single-side models, exactly as the paper does.
+        """
+        adjacency: Dict[int, set] = {v: set(us) for v, us in self._lower_adj.items()}
+        return AttributedBipartiteGraph(
+            adjacency,
+            self._lower_attrs,
+            self._upper_attrs,
+            lower_vertices=self._upper_adj.keys(),
+            upper_labels=self._lower_labels,
+            lower_labels=self._upper_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # dunder / reporting helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributedBipartiteGraph):
+            return NotImplemented
+        return (
+            self._upper_adj == other._upper_adj
+            and self._lower_adj == other._lower_adj
+            and self._upper_attrs == other._upper_attrs
+            and self._lower_attrs == other._lower_attrs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AttributedBipartiteGraph(|U|={self.num_upper}, |V|={self.num_lower}, "
+            f"|E|={self.num_edges})"
+        )
+
+    def summary(self) -> Dict[str, Hashable]:
+        """Dictionary of headline statistics (used by Table I reporting)."""
+        return {
+            "num_upper": self.num_upper,
+            "num_lower": self.num_lower,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "upper_attribute_domain": self.upper_attribute_domain,
+            "lower_attribute_domain": self.lower_attribute_domain,
+        }

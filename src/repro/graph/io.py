@@ -1,0 +1,136 @@
+"""Reading and writing attributed bipartite graphs.
+
+The datasets of the paper are distributed in KONECT-style edge-list format
+(one ``u v`` pair per line) plus separate attribute assignments.  This module
+provides a matching on-disk format so users can run the library on their own
+data:
+
+* ``<name>.edges`` -- one ``upper lower`` id pair per line, ``#`` comments
+  and blank lines ignored.
+* ``<name>.upper_attrs`` / ``<name>.lower_attrs`` -- one ``id value`` pair
+  per line.
+
+A single-file JSON round-trip is also provided for convenience.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
+
+PathLike = Union[str, Path]
+
+
+def _parse_pairs(path: PathLike) -> List[Tuple[str, str]]:
+    pairs: List[Tuple[str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise BipartiteGraphError(
+                    f"{path}:{line_number}: expected two whitespace separated fields, got {line!r}"
+                )
+            pairs.append((parts[0], parts[1]))
+    return pairs
+
+
+def read_edge_list(path: PathLike) -> List[Tuple[int, int]]:
+    """Read a KONECT-style edge list of ``upper lower`` integer pairs."""
+    return [(int(a), int(b)) for a, b in _parse_pairs(path)]
+
+
+def read_attribute_file(path: PathLike) -> Dict[int, str]:
+    """Read an ``id value`` attribute assignment file."""
+    return {int(a): b for a, b in _parse_pairs(path)}
+
+
+def write_edge_list(path: PathLike, edges: Iterable[Tuple[int, int]]) -> None:
+    """Write edges as an ``upper lower`` pair per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for u, v in edges:
+            handle.write(f"{u} {v}\n")
+
+
+def write_attribute_file(path: PathLike, attributes: Dict[int, str]) -> None:
+    """Write an attribute assignment, one ``id value`` pair per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for vertex in sorted(attributes):
+            handle.write(f"{vertex} {attributes[vertex]}\n")
+
+
+def load_graph(
+    edges_path: PathLike,
+    upper_attrs_path: PathLike,
+    lower_attrs_path: PathLike,
+) -> AttributedBipartiteGraph:
+    """Load a graph from an edge list plus two attribute files."""
+    edges = read_edge_list(edges_path)
+    upper_attrs = read_attribute_file(upper_attrs_path)
+    lower_attrs = read_attribute_file(lower_attrs_path)
+    return AttributedBipartiteGraph.from_edges(
+        edges,
+        upper_attrs,
+        lower_attrs,
+        upper_vertices=upper_attrs.keys(),
+        lower_vertices=lower_attrs.keys(),
+    )
+
+
+def save_graph(
+    graph: AttributedBipartiteGraph,
+    edges_path: PathLike,
+    upper_attrs_path: PathLike,
+    lower_attrs_path: PathLike,
+) -> None:
+    """Save a graph as an edge list plus two attribute files."""
+    write_edge_list(edges_path, sorted(graph.edges()))
+    write_attribute_file(
+        upper_attrs_path, {u: str(graph.upper_attribute(u)) for u in graph.upper_vertices()}
+    )
+    write_attribute_file(
+        lower_attrs_path, {v: str(graph.lower_attribute(v)) for v in graph.lower_vertices()}
+    )
+
+
+def graph_to_json(graph: AttributedBipartiteGraph) -> str:
+    """Serialise a graph to a JSON string (single-file round trip)."""
+    payload = {
+        "upper_vertices": list(graph.upper_vertices()),
+        "lower_vertices": list(graph.lower_vertices()),
+        "edges": sorted(graph.edges()),
+        "upper_attributes": {str(u): graph.upper_attribute(u) for u in graph.upper_vertices()},
+        "lower_attributes": {str(v): graph.lower_attribute(v) for v in graph.lower_vertices()},
+        "upper_labels": {str(u): graph.upper_label(u) for u in graph.upper_vertices()},
+        "lower_labels": {str(v): graph.lower_label(v) for v in graph.lower_vertices()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def graph_from_json(text: str) -> AttributedBipartiteGraph:
+    """Deserialise a graph produced by :func:`graph_to_json`."""
+    payload = json.loads(text)
+    return AttributedBipartiteGraph.from_edges(
+        [(int(u), int(v)) for u, v in payload["edges"]],
+        {int(k): v for k, v in payload["upper_attributes"].items()},
+        {int(k): v for k, v in payload["lower_attributes"].items()},
+        upper_vertices=[int(u) for u in payload["upper_vertices"]],
+        lower_vertices=[int(v) for v in payload["lower_vertices"]],
+        upper_labels={int(k): v for k, v in payload.get("upper_labels", {}).items()},
+        lower_labels={int(k): v for k, v in payload.get("lower_labels", {}).items()},
+    )
+
+
+def save_graph_json(graph: AttributedBipartiteGraph, path: PathLike) -> None:
+    """Write the JSON serialisation of ``graph`` to ``path``."""
+    Path(path).write_text(graph_to_json(graph), encoding="utf-8")
+
+
+def load_graph_json(path: PathLike) -> AttributedBipartiteGraph:
+    """Load a graph from a JSON file produced by :func:`save_graph_json`."""
+    return graph_from_json(Path(path).read_text(encoding="utf-8"))

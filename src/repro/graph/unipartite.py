@@ -1,0 +1,116 @@
+"""Attributed one-mode (unipartite) graph.
+
+The colorful fair core pruning of the paper works on a *2-hop projection
+graph* built over the fair side of the bipartite graph.  That projection is
+an ordinary attributed graph, so the library needs a small one-mode graph
+type with exactly the operations the ego-colorful-core peeling requires:
+adjacency, degrees, attribute lookup, coloring and vertex removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.attributes import AttributeTable, AttributeValue
+
+
+class AttributedGraph:
+    """Undirected attributed graph with hashable integer vertex ids."""
+
+    __slots__ = ("_adj", "_attrs")
+
+    def __init__(
+        self,
+        adjacency: Mapping[int, Iterable[int]],
+        attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+    ):
+        adj: Dict[int, set] = {v: set(ns) for v, ns in adjacency.items()}
+        # Symmetrise: an undirected edge listed once must be visible from
+        # both endpoints, and endpoints must exist as vertices.
+        for v, neighbours in list(adj.items()):
+            for w in neighbours:
+                adj.setdefault(w, set()).add(v)
+        for v in adj:
+            adj[v].discard(v)
+        self._adj: Dict[int, FrozenSet[int]] = {v: frozenset(ns) for v, ns in adj.items()}
+        table = attributes if isinstance(attributes, AttributeTable) else AttributeTable(attributes)
+        missing = [v for v in self._adj if v not in table]
+        if missing:
+            raise ValueError(f"attribute table is missing vertices {sorted(missing)[:5]}")
+        self._attrs = table
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        attributes: Mapping[int, AttributeValue] | Sequence[AttributeValue],
+        vertices: Optional[Iterable[int]] = None,
+    ) -> "AttributedGraph":
+        """Build a graph from an iterable of undirected edges."""
+        adjacency: Dict[int, set] = {v: set() for v in (vertices or ())}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        return cls(adjacency, attributes)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(ns) for ns in self._adj.values()) // 2
+
+    def vertices(self) -> Tuple[int, ...]:
+        """All vertex ids, sorted."""
+        return tuple(sorted(self._adj))
+
+    def has_vertex(self, v: int) -> bool:
+        """True when ``v`` exists in the graph."""
+        return v in self._adj
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True when the undirected edge ``(a, b)`` exists."""
+        neighbours = self._adj.get(a)
+        return neighbours is not None and b in neighbours
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges once each (ordered pairs ``a < b``)."""
+        for a, neighbours in self._adj.items():
+            for b in neighbours:
+                if a < b:
+                    yield (a, b)
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """Neighbour set of ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    @property
+    def attributes(self) -> AttributeTable:
+        """Attribute table of the graph."""
+        return self._attrs
+
+    def attribute(self, v: int) -> AttributeValue:
+        """Attribute value of ``v``."""
+        return self._attrs[v]
+
+    @property
+    def attribute_domain(self) -> Tuple[AttributeValue, ...]:
+        """Distinct attribute values present in the graph."""
+        return self._attrs.domain
+
+    def induced_subgraph(self, keep: Iterable[int]) -> "AttributedGraph":
+        """Vertex-induced subgraph on ``keep`` (ids preserved)."""
+        keep_set = set(keep) & set(self._adj)
+        adjacency = {v: self._adj[v] & keep_set for v in keep_set}
+        return AttributedGraph(adjacency, {v: self._attrs[v] for v in keep_set})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AttributedGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

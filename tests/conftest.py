@@ -1,0 +1,76 @@
+"""Shared fixtures of the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.models import FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def make_graph(edges, upper_attrs, lower_attrs, **kwargs):
+    """Convenience constructor used across the test-suite."""
+    return AttributedBipartiteGraph.from_edges(
+        edges,
+        upper_attrs,
+        lower_attrs,
+        upper_vertices=upper_attrs.keys(),
+        lower_vertices=lower_attrs.keys(),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def tiny_graph():
+    """2x2 complete biclique with one attribute value per vertex."""
+    return make_graph(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attrs={0: "a", 1: "b"},
+        lower_attrs={0: "a", 1: "b"},
+    )
+
+
+@pytest.fixture
+def small_balanced_graph():
+    """A 3x4 graph with a planted fair biclique {u0,u1} x {v0,v1,v2,v3}."""
+    edges = [
+        (0, 0), (0, 1), (0, 2), (0, 3),
+        (1, 0), (1, 1), (1, 2), (1, 3),
+        (2, 0), (2, 2),
+    ]
+    return make_graph(
+        edges,
+        upper_attrs={0: "a", 1: "b", 2: "a"},
+        lower_attrs={0: "a", 1: "a", 2: "b", 3: "b"},
+    )
+
+
+@pytest.fixture
+def paper_example_graph():
+    """The example graph of Fig. 1 of the paper.
+
+    Upper side: u1..u5 (ids 1..5) with attribute values; lower side v1..v9
+    (ids 1..9).  Edges are reconstructed so that the subgraph induced by
+    {u3, u4, v2, v4, v6, v9} is a biclique whose lower side contains two
+    vertices of each attribute value, matching Example 1 (alpha=1, beta=2,
+    delta=1).  The exact figure is not fully recoverable from the text, so
+    this fixture reproduces the *properties* Example 1 relies on.
+    """
+    upper_attrs = {1: "a", 2: "b", 3: "a", 4: "b", 5: "a"}
+    lower_attrs = {
+        1: "a", 2: "a", 3: "b", 4: "a", 5: "b", 6: "b", 7: "a", 8: "b", 9: "b",
+    }
+    planted = [(u, v) for u in (3, 4) for v in (2, 4, 6, 9)]
+    extra = [
+        (1, 1), (1, 2), (1, 4), (1, 7),
+        (2, 3), (2, 5), (2, 6),
+        (5, 7), (5, 8), (5, 9),
+        (3, 1), (4, 5),
+    ]
+    return make_graph(planted + extra, upper_attrs, lower_attrs)
+
+
+@pytest.fixture
+def default_params():
+    """Fairness parameters used by many tests."""
+    return FairnessParams(alpha=2, beta=1, delta=1)

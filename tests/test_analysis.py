@@ -1,0 +1,166 @@
+"""Unit tests of the analysis / experiment harness."""
+
+import pytest
+
+from repro.analysis.metrics import Measurement, measure, speedup
+from repro.analysis.reporting import format_mapping, format_series, format_table
+from repro.analysis.sweep import sweep_edge_fraction, sweep_parameter, sweep_pruning
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.models import FairnessParams
+from repro.core.pruning.cfcore import colorful_fair_core, fair_core_pruning
+from repro.graph.generators import block_bipartite_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return block_bipartite_graph(3, 8, 6, 0.6, 0.02, seed=0)
+
+
+class TestMetrics:
+    def test_measure_returns_result_and_time(self):
+        outcome = measure(sum, [1, 2, 3])
+        assert outcome.result == 6
+        assert outcome.elapsed_seconds >= 0.0
+        assert outcome.peak_memory_bytes == 0
+
+    def test_measure_with_memory_tracking(self):
+        outcome = measure(lambda: [0] * 100_000, track_memory=True)
+        assert outcome.peak_memory_bytes > 0
+        assert outcome.peak_memory_mb > 0.0
+
+    def test_measure_propagates_exceptions(self):
+        with pytest.raises(ZeroDivisionError):
+            measure(lambda: 1 / 0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(1.0, 0.0) == float("inf")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1), ("bb", 2.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "bb" in lines[4]
+
+    def test_format_table_scientific_notation_for_extremes(self):
+        text = format_table(["x"], [(0.0000001,), (123456.0,)])
+        assert "e-" in text and "e+" in text
+
+    def test_format_series(self):
+        series = {"A": [(1, 0.5), (2, 0.25)], "B": [(1, 1.0)]}
+        text = format_series("title", "alpha", series)
+        assert "alpha" in text
+        assert "A" in text and "B" in text
+        # missing point rendered as '-'
+        assert "-" in text.splitlines()[-1]
+
+    def test_format_mapping(self):
+        text = format_mapping("m", {"k": 1.5})
+        assert "k" in text and "1.5" in text
+
+
+class TestSweeps:
+    def test_sweep_parameter(self, graph):
+        result = sweep_parameter(
+            graph,
+            {"FairBCEM++": fair_bcem_pp},
+            FairnessParams(2, 2, 1),
+            "alpha",
+            [2, 3],
+        )
+        assert result.parameter == "alpha"
+        assert len(result.observations) == 2
+        series = result.series("result_count")
+        assert [x for x, _ in series["FairBCEM++"]] == [2, 3]
+        # larger alpha can only shrink the result set
+        counts = dict(series["FairBCEM++"])
+        assert counts[3] <= counts[2]
+
+    def test_sweep_parameter_theta(self, graph):
+        from repro.core.enumeration.proportion import fair_bcem_pro_pp
+
+        result = sweep_parameter(
+            graph,
+            {"Pro": fair_bcem_pro_pp},
+            FairnessParams(2, 2, 1, 0.3),
+            "theta",
+            [0.3, 0.5],
+        )
+        assert {obs.value for obs in result.observations} == {0.3, 0.5}
+
+    def test_sweep_unknown_parameter(self, graph):
+        with pytest.raises(ValueError):
+            sweep_parameter(graph, {}, FairnessParams(1, 1, 1), "gamma", [1])
+
+    def test_sweep_observation_lookup(self, graph):
+        result = sweep_parameter(
+            graph, {"x": fair_bcem_pp}, FairnessParams(2, 2, 1), "delta", [1]
+        )
+        assert result.observation("x", 1) is not None
+        assert result.observation("x", 99) is None
+        assert result.algorithms() == ["x"]
+
+    def test_sweep_edge_fraction(self, graph):
+        result = sweep_edge_fraction(
+            graph,
+            {"FairBCEM": fair_bcem},
+            FairnessParams(2, 2, 1),
+            fractions=[0.5, 1.0],
+            seed=0,
+        )
+        assert {obs.value for obs in result.observations} == {0.5, 1.0}
+
+    def test_sweep_pruning(self, graph):
+        result = sweep_pruning(
+            graph,
+            {"FCore": fair_core_pruning, "CFCore": colorful_fair_core},
+            "alpha",
+            [2, 3],
+            fixed_alpha=2,
+            fixed_beta=2,
+        )
+        assert len(result.observations) == 4
+        series = result.series("vertices_after_pruning")
+        for value in (2, 3):
+            fcore = dict(series["FCore"])[value]
+            cfcore = dict(series["CFCore"])[value]
+            assert cfcore <= fcore
+
+    def test_sweep_pruning_rejects_delta(self, graph):
+        with pytest.raises(ValueError):
+            sweep_pruning(graph, {}, "delta", [1], fixed_alpha=1, fixed_beta=1)
+
+
+class TestExperiments:
+    def test_dataset_table_report(self):
+        from repro.analysis.experiments import experiment_dataset_table
+
+        report = experiment_dataset_table()
+        assert len(report.rows) == 5
+        text = report.render()
+        assert "dblp-small" in text and "paper |E|" in text
+
+    def test_case_study_reports_render(self):
+        from repro.analysis.experiments import experiment_case_dblp
+
+        report = experiment_case_dblp(seed=0)
+        assert len(report.rows) == 2
+        assert "DBDA" in report.render()
+
+    def test_proportion_counts_report(self):
+        from repro.analysis.experiments import experiment_proportion_counts
+
+        report = experiment_proportion_counts("dblp-small", thetas=(0.4, 0.5))
+        assert set(report.series) == {"PSSFBC", "PBSFBC"}
+        assert len(report.series["PSSFBC"]) == 2
+
+    def test_ssfbc_runtime_report(self):
+        from repro.analysis.experiments import experiment_ssfbc_runtime
+
+        report = experiment_ssfbc_runtime("dblp-small", "alpha", (2, 3))
+        assert "FairBCEM" in report.series and "FairBCEM++" in report.series
+        assert report.x_label == "alpha"

@@ -1,0 +1,77 @@
+"""Unit tests of the high-level facade (:mod:`repro.api`) and package exports."""
+
+import pytest
+
+import repro
+from repro import (
+    AttributedBipartiteGraph,
+    Biclique,
+    FairnessParams,
+    enumerate_bsfbc,
+    enumerate_pbsfbc,
+    enumerate_pssfbc,
+    enumerate_ssfbc,
+)
+
+
+@pytest.fixture
+def graph():
+    edges = [(u, v) for u in (0, 1) for v in (0, 1, 2, 3)]
+    return AttributedBipartiteGraph.from_edges(
+        edges,
+        upper_attributes={0: "a", 1: "b"},
+        lower_attributes={0: "a", 1: "a", 2: "b", 3: "b"},
+    )
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_enumerate_ssfbc_default_algorithm(graph):
+    result = enumerate_ssfbc(graph, FairnessParams(2, 2, 0))
+    assert result.as_set() == {Biclique({0, 1}, {0, 1, 2, 3})}
+
+
+@pytest.mark.parametrize("algorithm", ["fairbcem", "fairbcem++", "nsf"])
+def test_enumerate_ssfbc_all_algorithms_agree(graph, algorithm):
+    result = enumerate_ssfbc(graph, FairnessParams(2, 2, 0), algorithm=algorithm)
+    assert result.as_set() == {Biclique({0, 1}, {0, 1, 2, 3})}
+
+
+def test_enumerate_ssfbc_unknown_algorithm(graph):
+    with pytest.raises(ValueError, match="unknown SSFBC algorithm"):
+        enumerate_ssfbc(graph, FairnessParams(1, 1, 1), algorithm="magic")
+
+
+@pytest.mark.parametrize("algorithm", ["bfairbcem", "bfairbcem++", "bnsf"])
+def test_enumerate_bsfbc(graph, algorithm):
+    result = enumerate_bsfbc(graph, FairnessParams(1, 2, 0), algorithm=algorithm)
+    assert result.as_set() == {Biclique({0, 1}, {0, 1, 2, 3})}
+
+
+def test_enumerate_bsfbc_unknown_algorithm(graph):
+    with pytest.raises(ValueError, match="unknown BSFBC algorithm"):
+        enumerate_bsfbc(graph, FairnessParams(1, 1, 1), algorithm="magic")
+
+
+def test_enumerate_pssfbc_theta_override(graph):
+    result = enumerate_pssfbc(graph, FairnessParams(2, 1, 3), theta=0.5)
+    for biclique in result.bicliques:
+        values = [graph.lower_attribute(v) for v in biclique.lower]
+        assert values.count("a") == values.count("b")
+
+
+def test_enumerate_pbsfbc(graph):
+    result = enumerate_pbsfbc(graph, FairnessParams(1, 2, 0, theta=0.4))
+    assert result.as_set() == {Biclique({0, 1}, {0, 1, 2, 3})}
+
+
+def test_docstring_example_runs():
+    graph = AttributedBipartiteGraph.from_edges(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attributes={0: "a", 1: "b"},
+        lower_attributes={0: "a", 1: "b"},
+    )
+    result = enumerate_ssfbc(graph, FairnessParams(alpha=2, beta=1, delta=1))
+    assert [sorted(b.lower) for b in result.bicliques] == [[0, 1]]

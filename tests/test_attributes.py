@@ -1,0 +1,81 @@
+"""Unit tests of :mod:`repro.graph.attributes`."""
+
+import pytest
+
+from repro.graph.attributes import AttributeTable, count_by_value
+
+
+class TestAttributeTable:
+    def test_from_mapping(self):
+        table = AttributeTable({0: "a", 1: "b", 2: "a"})
+        assert table[0] == "a"
+        assert table[1] == "b"
+        assert len(table) == 3
+
+    def test_from_sequence(self):
+        table = AttributeTable(["a", "b", "a"])
+        assert table[0] == "a"
+        assert table[2] == "a"
+
+    def test_domain_is_sorted_and_unique(self):
+        table = AttributeTable({0: "b", 1: "a", 2: "b", 3: "a"})
+        assert table.domain == ("a", "b")
+
+    def test_contains_and_get(self):
+        table = AttributeTable({0: "a"})
+        assert 0 in table
+        assert 5 not in table
+        assert table.get(5, "missing") == "missing"
+
+    def test_missing_vertex_raises(self):
+        table = AttributeTable({0: "a"})
+        with pytest.raises(KeyError):
+            table[3]
+
+    def test_equality(self):
+        assert AttributeTable({0: "a", 1: "b"}) == AttributeTable({1: "b", 0: "a"})
+        assert AttributeTable({0: "a"}) != AttributeTable({0: "b"})
+
+    def test_restricted_to(self):
+        table = AttributeTable({0: "a", 1: "b", 2: "c"})
+        restricted = table.restricted_to([0, 2])
+        assert len(restricted) == 2
+        assert restricted.domain == ("a", "c")
+        assert 1 not in restricted
+
+    def test_count_by_value(self):
+        table = AttributeTable({0: "a", 1: "b", 2: "a", 3: "a"})
+        counts = table.count_by_value([0, 1, 2])
+        assert counts == {"a": 2, "b": 1}
+
+    def test_vertices_with_value(self):
+        table = AttributeTable({0: "a", 1: "b", 2: "a"})
+        assert table.vertices_with_value("a") == (0, 2)
+        assert table.vertices_with_value("z") == ()
+
+    def test_group_by_value(self):
+        table = AttributeTable({0: "a", 1: "b", 2: "a"})
+        groups = table.group_by_value([0, 1, 2])
+        assert sorted(groups["a"]) == [0, 2]
+        assert groups["b"] == [1]
+
+    def test_as_dict_returns_copy(self):
+        table = AttributeTable({0: "a"})
+        copy = table.as_dict()
+        copy[0] = "z"
+        assert table[0] == "a"
+
+    def test_iteration(self):
+        table = AttributeTable({3: "a", 1: "b"})
+        assert sorted(table) == [1, 3]
+        assert sorted(table.vertices()) == [1, 3]
+        assert dict(table.items()) == {3: "a", 1: "b"}
+
+
+def test_count_by_value_function():
+    attrs = {0: "x", 1: "y", 2: "x"}
+    assert count_by_value([0, 1, 2, 2], attrs) == {"x": 3, "y": 1}
+
+
+def test_count_by_value_empty():
+    assert count_by_value([], {}) == {}

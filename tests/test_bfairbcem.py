@@ -1,0 +1,106 @@
+"""Unit tests of BFairBCEM / BFairBCEM++ (Algorithm 9)."""
+
+import pytest
+
+from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
+from repro.core.enumeration.reference import reference_bsfbc
+from repro.core.models import Biclique, FairnessParams, biclique_is_bi_fair
+from repro.graph.generators import block_bipartite_graph, random_bipartite_graph
+
+from conftest import make_graph
+
+
+class TestSmallGraphs:
+    def test_complete_balanced_biclique(self, tiny_graph):
+        params = FairnessParams(1, 1, 0)
+        for function in (bfair_bcem, bfair_bcem_pp):
+            assert function(tiny_graph, params).as_set() == {Biclique({0, 1}, {0, 1})}
+
+    def test_upper_side_fairness_is_enforced(self):
+        # upper side has two 'a' vertices and one 'b': with alpha=1, delta=0
+        # a bi-side fair biclique keeps one vertex per upper value.
+        edges = [(u, v) for u in (0, 1, 2) for v in (0, 1)]
+        graph = make_graph(
+            edges, {0: "a", 1: "a", 2: "b"}, {0: "a", 1: "b"}
+        )
+        params = FairnessParams(1, 1, 0)
+        result = bfair_bcem_pp(graph, params)
+        assert result.as_set() == {
+            Biclique({0, 2}, {0, 1}),
+            Biclique({1, 2}, {0, 1}),
+        }
+
+    def test_alpha_must_be_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            bfair_bcem_pp(tiny_graph, FairnessParams(0, 1, 1))
+
+    def test_empty_graph(self):
+        graph = make_graph([], {0: "a"}, {0: "x"})
+        assert len(bfair_bcem(graph, FairnessParams(1, 1, 1))) == 0
+
+    def test_every_result_is_bi_fair(self, paper_example_graph):
+        params = FairnessParams(1, 2, 1)
+        result = bfair_bcem_pp(paper_example_graph, params)
+        for biclique in result.bicliques:
+            assert biclique.is_biclique_of(paper_example_graph)
+            assert biclique_is_bi_fair(biclique, paper_example_graph, params)
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_basic(self, seed):
+        graph = random_bipartite_graph(5, 5, 0.7, seed=seed)
+        params = FairnessParams(1, 1, 1)
+        assert bfair_bcem(graph, params).as_set() == set(reference_bsfbc(graph, params))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_improved(self, seed):
+        graph = random_bipartite_graph(5, 5, 0.7, seed=seed)
+        params = FairnessParams(1, 1, 1)
+        assert bfair_bcem_pp(graph, params).as_set() == set(reference_bsfbc(graph, params))
+
+    @pytest.mark.parametrize("delta", [0, 1, 2])
+    def test_delta_grid(self, delta):
+        graph = random_bipartite_graph(6, 6, 0.7, seed=51)
+        params = FairnessParams(1, 1, delta)
+        expected = set(reference_bsfbc(graph, params))
+        assert bfair_bcem(graph, params).as_set() == expected
+        assert bfair_bcem_pp(graph, params).as_set() == expected
+
+    @pytest.mark.parametrize("pruning", ["none", "core", "colorful"])
+    def test_pruning_variants_agree(self, pruning):
+        graph = random_bipartite_graph(6, 6, 0.7, seed=53)
+        params = FairnessParams(1, 1, 1)
+        expected = set(reference_bsfbc(graph, params))
+        assert bfair_bcem_pp(graph, params, pruning=pruning).as_set() == expected
+
+    def test_alpha_two(self):
+        graph = random_bipartite_graph(7, 6, 0.8, seed=57)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_bsfbc(graph, params))
+        assert bfair_bcem_pp(graph, params).as_set() == expected
+
+
+class TestAgreementBetweenVariants:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_block_graphs(self, seed):
+        graph = block_bipartite_graph(3, 7, 6, 0.6, 0.02, seed=seed)
+        params = FairnessParams(1, 2, 1)
+        assert bfair_bcem(graph, params).as_set() == bfair_bcem_pp(graph, params).as_set()
+
+    def test_bsfbc_results_are_contained_in_ssfbc_results(self):
+        """Observation 6: every BSFBC is a sub-biclique of some SSFBC."""
+        from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+
+        graph = block_bipartite_graph(3, 7, 6, 0.6, 0.02, seed=5)
+        params = FairnessParams(2, 2, 1)
+        ssfbc = fair_bcem_pp(graph, params).bicliques
+        for bi_result in bfair_bcem_pp(graph, params).bicliques:
+            assert any(
+                bi_result.upper <= s.upper and bi_result.lower <= s.lower for s in ssfbc
+            )
+
+    def test_stats_algorithm_names(self, tiny_graph):
+        params = FairnessParams(1, 1, 1)
+        assert bfair_bcem(tiny_graph, params).stats.algorithm == "BFairBCEM"
+        assert bfair_bcem_pp(tiny_graph, params).stats.algorithm == "BFairBCEM++"

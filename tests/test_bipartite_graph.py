@@ -1,0 +1,183 @@
+"""Unit tests of :class:`repro.graph.bipartite.AttributedBipartiteGraph`."""
+
+import pytest
+
+from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
+
+from conftest import make_graph
+
+
+@pytest.fixture
+def graph():
+    return make_graph(
+        [(0, 10), (0, 11), (1, 10), (2, 12)],
+        upper_attrs={0: "a", 1: "b", 2: "a", 3: "b"},
+        lower_attrs={10: "x", 11: "y", 12: "x", 13: "y"},
+    )
+
+
+class TestConstruction:
+    def test_counts(self, graph):
+        assert graph.num_upper == 4
+        assert graph.num_lower == 4
+        assert graph.num_edges == 4
+        assert graph.num_vertices == 8
+
+    def test_density(self, graph):
+        assert graph.density == pytest.approx(4 / 16)
+
+    def test_density_empty_graph(self):
+        empty = AttributedBipartiteGraph({}, {}, {})
+        assert empty.density == 0.0
+        assert empty.num_edges == 0
+
+    def test_isolated_vertices_are_kept(self, graph):
+        assert graph.has_upper(3)
+        assert graph.has_lower(13)
+        assert graph.degree_upper(3) == 0
+        assert graph.degree_lower(13) == 0
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(BipartiteGraphError):
+            make_graph([(0, 0)], upper_attrs={0: "a"}, lower_attrs={})
+
+    def test_from_edges_duplicate_edges_collapse(self):
+        graph = make_graph(
+            [(0, 0), (0, 0), (0, 0)],
+            upper_attrs={0: "a"},
+            lower_attrs={0: "x"},
+        )
+        assert graph.num_edges == 1
+
+    def test_equality(self, graph):
+        same = make_graph(
+            [(0, 10), (0, 11), (1, 10), (2, 12)],
+            upper_attrs={0: "a", 1: "b", 2: "a", 3: "b"},
+            lower_attrs={10: "x", 11: "y", 12: "x", 13: "y"},
+        )
+        assert graph == same
+        different = make_graph(
+            [(0, 10)],
+            upper_attrs={0: "a", 1: "b", 2: "a", 3: "b"},
+            lower_attrs={10: "x", 11: "y", 12: "x", 13: "y"},
+        )
+        assert graph != different
+
+
+class TestAdjacency:
+    def test_neighbors(self, graph):
+        assert graph.neighbors_of_upper(0) == frozenset({10, 11})
+        assert graph.neighbors_of_lower(10) == frozenset({0, 1})
+
+    def test_degrees(self, graph):
+        assert graph.degree_upper(0) == 2
+        assert graph.degree_lower(12) == 1
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 10)
+        assert not graph.has_edge(0, 12)
+        assert not graph.has_edge(99, 10)
+
+    def test_edges_iteration(self, graph):
+        assert sorted(graph.edges()) == [(0, 10), (0, 11), (1, 10), (2, 12)]
+
+    def test_common_lower_neighbors(self, graph):
+        assert graph.common_lower_neighbors([0, 1]) == frozenset({10})
+        assert graph.common_lower_neighbors([0, 2]) == frozenset()
+        assert graph.common_lower_neighbors([]) == frozenset(graph.lower_vertices())
+
+    def test_common_upper_neighbors(self, graph):
+        assert graph.common_upper_neighbors([10, 11]) == frozenset({0})
+        assert graph.common_upper_neighbors([]) == frozenset(graph.upper_vertices())
+
+
+class TestAttributes:
+    def test_attribute_lookup(self, graph):
+        assert graph.upper_attribute(0) == "a"
+        assert graph.lower_attribute(11) == "y"
+
+    def test_domains(self, graph):
+        assert graph.upper_attribute_domain == ("a", "b")
+        assert graph.lower_attribute_domain == ("x", "y")
+
+    def test_attribute_degree(self, graph):
+        assert graph.attribute_degree_upper(0, "x") == 1
+        assert graph.attribute_degree_upper(0, "y") == 1
+        assert graph.attribute_degree_lower(10, "a") == 1
+        assert graph.attribute_degree_lower(10, "b") == 1
+
+    def test_attribute_degrees_counter(self, graph):
+        assert dict(graph.attribute_degrees_upper(0)) == {"x": 1, "y": 1}
+        assert dict(graph.attribute_degrees_lower(12)) == {"a": 1}
+
+    def test_min_attribute_degree(self, graph):
+        assert graph.min_attribute_degree_upper(0) == 1
+        # vertex 2 has one "x" neighbour and no "y" neighbour
+        assert graph.min_attribute_degree_upper(2) == 0
+        assert graph.min_attribute_degree_lower(12) == 0
+
+    def test_labels_default_to_id(self, graph):
+        assert graph.upper_label(0) == "0"
+        assert graph.lower_label(10) == "10"
+
+    def test_labels_explicit(self):
+        graph = make_graph(
+            [(0, 0)],
+            upper_attrs={0: "a"},
+            lower_attrs={0: "x"},
+            upper_labels={0: "Alice"},
+            lower_labels={0: "SIGMOD"},
+        )
+        assert graph.upper_label(0) == "Alice"
+        assert graph.lower_label(0) == "SIGMOD"
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self, graph):
+        sub = graph.induced_subgraph(upper_keep=[0, 1], lower_keep=[10])
+        assert sub.num_upper == 2
+        assert sub.num_lower == 1
+        assert sub.num_edges == 2
+        assert sub.upper_attribute(0) == "a"
+
+    def test_induced_subgraph_none_keeps_side(self, graph):
+        sub = graph.induced_subgraph(lower_keep=[10, 11])
+        assert sub.num_upper == graph.num_upper
+        assert sub.num_lower == 2
+
+    def test_induced_subgraph_ignores_unknown_ids(self, graph):
+        sub = graph.induced_subgraph(upper_keep=[0, 999], lower_keep=[10, 888])
+        assert sub.num_upper == 1
+        assert sub.num_lower == 1
+
+    def test_edge_sampled_subgraph_full(self, graph):
+        sampled = graph.edge_sampled_subgraph(1.0, seed=1)
+        assert sampled.num_edges == graph.num_edges
+        assert sampled.num_upper == graph.num_upper
+
+    def test_edge_sampled_subgraph_half(self, graph):
+        sampled = graph.edge_sampled_subgraph(0.5, seed=1)
+        assert sampled.num_edges == 2
+        assert set(sampled.edges()) <= set(graph.edges())
+
+    def test_edge_sampled_subgraph_invalid_fraction(self, graph):
+        with pytest.raises(BipartiteGraphError):
+            graph.edge_sampled_subgraph(1.5)
+
+    def test_edge_sampled_deterministic(self, graph):
+        a = set(graph.edge_sampled_subgraph(0.5, seed=7).edges())
+        b = set(graph.edge_sampled_subgraph(0.5, seed=7).edges())
+        assert a == b
+
+    def test_swapped_sides(self, graph):
+        swapped = graph.swapped_sides()
+        assert swapped.num_upper == graph.num_lower
+        assert swapped.num_lower == graph.num_upper
+        assert swapped.has_edge(10, 0)
+        assert swapped.upper_attribute(10) == "x"
+        assert swapped.swapped_sides() == graph
+
+    def test_summary(self, graph):
+        summary = graph.summary()
+        assert summary["num_upper"] == 4
+        assert summary["lower_attribute_domain"] == ("x", "y")

@@ -1,0 +1,121 @@
+"""Unit tests of CFCore / BCFCore pruning and the PruningResult container."""
+
+import pytest
+
+from repro.core.pruning.cfcore import (
+    PruningResult,
+    bi_colorful_fair_core,
+    bi_fair_core_pruning,
+    colorful_fair_core,
+    fair_core_pruning,
+    prune_for_model,
+)
+from repro.core.pruning.fcore import fair_core
+from repro.graph.generators import planted_biclique_graph, random_bipartite_graph
+
+
+@pytest.fixture
+def graph_with_planted_fair_biclique():
+    """Sparse background plus a planted biclique that is fair by construction."""
+    planted_upper = (0, 1, 2)
+    planted_lower = (0, 1, 2, 3)
+    return planted_biclique_graph(
+        12,
+        12,
+        background_probability=0.05,
+        planted=[(planted_upper, planted_lower)],
+        lower_attributes={0: "a", 1: "a", 2: "b", 3: "b"},
+        upper_attributes={0: "a", 1: "b", 2: "a"},
+        seed=3,
+    )
+
+
+class TestPruningResult:
+    def test_reduction_accounting(self):
+        graph = random_bipartite_graph(10, 10, 0.3, seed=0)
+        outcome = fair_core_pruning(graph, 2, 1)
+        assert outcome.vertices_before == 20
+        assert outcome.vertices_after == outcome.graph.num_vertices
+        assert outcome.vertices_removed == 20 - outcome.vertices_after
+        assert 0.0 <= outcome.reduction_ratio <= 1.0
+        assert outcome.elapsed_seconds >= 0.0
+        assert outcome.technique == "fcore"
+
+    def test_empty_graph_reduction_ratio(self):
+        from conftest import make_graph
+
+        outcome = fair_core_pruning(make_graph([], {}, {}), 1, 1)
+        assert outcome.reduction_ratio == 0.0
+
+
+class TestCFCore:
+    def test_matches_fcore_or_prunes_more(self):
+        graph = random_bipartite_graph(40, 40, 0.15, seed=1)
+        alpha, beta = 2, 1
+        fcore_upper, fcore_lower = fair_core(graph, alpha, beta)
+        cf = colorful_fair_core(graph, alpha, beta)
+        assert set(cf.graph.upper_vertices()) <= fcore_upper
+        assert set(cf.graph.lower_vertices()) <= fcore_lower
+
+    def test_planted_fair_biclique_survives(self, graph_with_planted_fair_biclique):
+        cf = colorful_fair_core(graph_with_planted_fair_biclique, 3, 2)
+        for u in (0, 1, 2):
+            assert cf.graph.has_upper(u)
+        for v in (0, 1, 2, 3):
+            assert cf.graph.has_lower(v)
+
+    def test_infeasible_thresholds_empty_graph(self, graph_with_planted_fair_biclique):
+        cf = colorful_fair_core(graph_with_planted_fair_biclique, 20, 20)
+        assert cf.graph.num_vertices == 0
+
+    def test_stage_bookkeeping(self):
+        graph = random_bipartite_graph(30, 30, 0.2, seed=2)
+        cf = colorful_fair_core(graph, 2, 1)
+        assert "after_fcore" in cf.stages
+        if cf.graph.num_vertices:
+            assert "after_ego_colorful_core" in cf.stages
+
+
+class TestBCFCore:
+    def test_prunes_at_least_as_much_as_bfcore(self):
+        graph = random_bipartite_graph(40, 40, 0.2, seed=3)
+        bf = bi_fair_core_pruning(graph, 2, 2)
+        bcf = bi_colorful_fair_core(graph, 2, 2)
+        assert set(bcf.graph.upper_vertices()) <= set(bf.graph.upper_vertices())
+        assert set(bcf.graph.lower_vertices()) <= set(bf.graph.lower_vertices())
+
+    def test_bi_core_subset_of_single_side_core(self):
+        graph = random_bipartite_graph(40, 40, 0.2, seed=4)
+        single = colorful_fair_core(graph, 2, 2)
+        bi = bi_colorful_fair_core(graph, 2, 2)
+        assert set(bi.graph.lower_vertices()) <= set(single.graph.lower_vertices()) or (
+            bi.graph.num_vertices == 0
+        )
+
+
+class TestPruneForModel:
+    def test_none_is_identity(self):
+        graph = random_bipartite_graph(10, 10, 0.3, seed=5)
+        outcome = prune_for_model(graph, 2, 2, technique="none")
+        assert outcome.graph is graph
+        assert outcome.vertices_removed == 0
+
+    def test_core_dispatch(self):
+        graph = random_bipartite_graph(10, 10, 0.3, seed=6)
+        assert prune_for_model(graph, 2, 1, technique="core").technique == "fcore"
+        assert (
+            prune_for_model(graph, 2, 1, bi_side=True, technique="core").technique == "bfcore"
+        )
+
+    def test_colorful_dispatch(self):
+        graph = random_bipartite_graph(10, 10, 0.3, seed=7)
+        assert prune_for_model(graph, 2, 1, technique="colorful").technique == "cfcore"
+        assert (
+            prune_for_model(graph, 2, 1, bi_side=True, technique="colorful").technique
+            == "bcfcore"
+        )
+
+    def test_unknown_technique(self):
+        graph = random_bipartite_graph(5, 5, 0.3, seed=8)
+        with pytest.raises(ValueError):
+            prune_for_model(graph, 1, 1, technique="magic")

@@ -1,0 +1,125 @@
+"""Unit tests of the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import save_graph
+
+from conftest import make_graph
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    output = capsys.readouterr().out
+    assert "dblp-small" in output
+    assert "density" in output
+
+
+def test_enumerate_on_named_dataset(capsys):
+    exit_code = main(
+        [
+            "enumerate",
+            "--dataset",
+            "dblp-small",
+            "--model",
+            "ssfbc",
+            "--alpha",
+            "2",
+            "--beta",
+            "2",
+            "--delta",
+            "2",
+            "--count-only",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "FairBCEM++" in output
+    assert "fair bicliques" in output
+
+
+def test_enumerate_on_files(tmp_path, capsys):
+    graph = make_graph(
+        [(u, v) for u in (0, 1) for v in (0, 1, 2, 3)],
+        upper_attrs={0: "a", 1: "b"},
+        lower_attrs={0: "a", 1: "a", 2: "b", 3: "b"},
+    )
+    edges = tmp_path / "g.edges"
+    upper = tmp_path / "g.upper"
+    lower = tmp_path / "g.lower"
+    save_graph(graph, edges, upper, lower)
+    exit_code = main(
+        [
+            "enumerate",
+            "--edges", str(edges),
+            "--upper-attrs", str(upper),
+            "--lower-attrs", str(lower),
+            "--alpha", "2",
+            "--beta", "2",
+            "--delta", "0",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "1 fair bicliques" in output
+
+
+def test_enumerate_requires_a_graph_source():
+    with pytest.raises(SystemExit):
+        main(["enumerate", "--alpha", "1"])
+
+
+@pytest.mark.parametrize("model", ["bsfbc", "pssfbc", "pbsfbc"])
+def test_enumerate_other_models(model, capsys):
+    exit_code = main(
+        [
+            "enumerate",
+            "--dataset", "dblp-small",
+            "--model", model,
+            "--alpha", "1",
+            "--beta", "2",
+            "--delta", "2",
+            "--theta", "0.4",
+            "--count-only",
+        ]
+    )
+    assert exit_code == 0
+    assert "fair bicliques" in capsys.readouterr().out
+
+
+def test_prune_command(capsys):
+    exit_code = main(
+        ["prune", "--dataset", "dblp-small", "--technique", "cfcore", "--alpha", "2", "--beta", "2"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "vertices before" in output
+    assert "reduction ratio" in output
+
+
+def test_experiment_command(capsys):
+    exit_code = main(["experiment", "table1"])
+    assert exit_code == 0
+    assert "Datasets and parameters" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["frobnicate"])
+
+
+def test_enumerate_limit_truncates_output(capsys):
+    exit_code = main(
+        [
+            "enumerate",
+            "--dataset", "dblp-small",
+            "--alpha", "2",
+            "--beta", "2",
+            "--delta", "2",
+            "--limit", "1",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "more)" in output

@@ -1,0 +1,78 @@
+"""Unit tests of the ego colorful k-core peeling (Definitions 9-10)."""
+
+from repro.core.pruning.colorful_core import ego_colorful_core, ego_colorful_degrees
+from repro.graph.coloring import greedy_coloring
+from repro.graph.unipartite import AttributedGraph
+
+
+def balanced_clique(size_per_value):
+    """Complete graph with `size_per_value` vertices of each of two values."""
+    total = 2 * size_per_value
+    attrs = {i: ("a" if i < size_per_value else "b") for i in range(total)}
+    edges = [(i, j) for i in range(total) for j in range(i + 1, total)]
+    return AttributedGraph.from_edges(edges, attrs, vertices=range(total))
+
+
+def test_ego_colorful_degree_counts_distinct_colors_per_value():
+    graph = balanced_clique(2)
+    colors = greedy_coloring(graph)
+    degrees = ego_colorful_degrees(graph, 0, colors, ("a", "b"))
+    # in a clique every vertex has a distinct color, so the ego colorful
+    # degree per value equals the number of vertices of that value
+    assert degrees == {"a": 2, "b": 2}
+
+
+def test_k_zero_keeps_everything():
+    graph = balanced_clique(1)
+    assert ego_colorful_core(graph, 0) == set(graph.vertices())
+
+
+def test_balanced_clique_survives_matching_k():
+    graph = balanced_clique(3)
+    assert ego_colorful_core(graph, 3) == set(graph.vertices())
+    assert ego_colorful_core(graph, 4) == set()
+
+
+def test_isolated_vertex_removed_when_k_positive():
+    graph = AttributedGraph(
+        {0: [1], 1: [0], 2: []}, {0: "a", 1: "b", 2: "a"}
+    )
+    survivors = ego_colorful_core(graph, 1)
+    assert survivors == {0, 1}
+
+
+def test_missing_value_in_requested_domain_empties_core():
+    graph = AttributedGraph({0: [1], 1: [0]}, {0: "a", 1: "a"})
+    assert ego_colorful_core(graph, 1, domain=("a", "b")) == set()
+    assert ego_colorful_core(graph, 1, domain=("a",)) == {0, 1}
+
+
+def test_peeling_cascades():
+    # a balanced 4-clique (2 of each value) plus a pendant vertex of value a:
+    # the pendant cannot reach ego colorful degree 2 for value b and is
+    # removed; the clique survives k=2.
+    clique = balanced_clique(2)
+    edges = list(clique.edges()) + [(0, 4)]
+    attrs = {**{v: clique.attribute(v) for v in clique.vertices()}, 4: "a"}
+    graph = AttributedGraph.from_edges(edges, attrs, vertices=range(5))
+    survivors = ego_colorful_core(graph, 2)
+    assert survivors == {0, 1, 2, 3}
+
+
+def test_core_members_satisfy_definition():
+    graph = balanced_clique(3)
+    extra_edges = list(graph.edges()) + [(0, 6), (1, 7)]
+    attrs = {**{v: graph.attribute(v) for v in graph.vertices()}, 6: "a", 7: "b"}
+    bigger = AttributedGraph.from_edges(extra_edges, attrs, vertices=range(8))
+    colors = greedy_coloring(bigger)
+    survivors = ego_colorful_core(bigger, 2, colors=colors)
+    core = bigger.induced_subgraph(survivors)
+    core_colors = {v: colors[v] for v in survivors}
+    for vertex in survivors:
+        degrees = ego_colorful_degrees(core, vertex, core_colors, ("a", "b"))
+        assert min(degrees.values()) >= 2
+
+
+def test_ego_colorful_core_never_larger_than_graph():
+    graph = balanced_clique(4)
+    assert ego_colorful_core(graph, 1) <= set(graph.vertices())

@@ -1,0 +1,80 @@
+"""Unit tests of the greedy graph coloring."""
+
+import random
+
+from repro.graph.coloring import color_count, greedy_coloring, is_proper_coloring
+from repro.graph.unipartite import AttributedGraph
+
+
+def _random_graph(num_vertices, edge_probability, seed):
+    rng = random.Random(seed)
+    edges = [
+        (a, b)
+        for a in range(num_vertices)
+        for b in range(a + 1, num_vertices)
+        if rng.random() < edge_probability
+    ]
+    return AttributedGraph.from_edges(
+        edges, {v: "a" for v in range(num_vertices)}, vertices=range(num_vertices)
+    )
+
+
+def test_coloring_is_proper_on_triangle():
+    graph = AttributedGraph.from_edges(
+        [(0, 1), (1, 2), (0, 2)], {0: "a", 1: "a", 2: "a"}
+    )
+    colors = greedy_coloring(graph)
+    assert is_proper_coloring(graph, colors)
+    assert color_count(colors) == 3
+
+
+def test_coloring_bipartite_like_structure_uses_two_colors():
+    # A path 0-1-2-3 is 2-colorable and the greedy ordering achieves it.
+    graph = AttributedGraph.from_edges(
+        [(0, 1), (1, 2), (2, 3)], {i: "a" for i in range(4)}
+    )
+    colors = greedy_coloring(graph)
+    assert is_proper_coloring(graph, colors)
+    assert color_count(colors) == 2
+
+
+def test_coloring_isolated_vertices_get_color_zero():
+    graph = AttributedGraph({0: [], 1: []}, {0: "a", 1: "b"})
+    colors = greedy_coloring(graph)
+    assert colors == {0: 0, 1: 0}
+
+
+def test_coloring_empty_graph():
+    graph = AttributedGraph({}, {})
+    assert greedy_coloring(graph) == {}
+    assert color_count({}) == 0
+
+
+def test_coloring_is_deterministic():
+    graph = _random_graph(30, 0.2, seed=3)
+    assert greedy_coloring(graph) == greedy_coloring(graph)
+
+
+def test_coloring_proper_on_random_graphs():
+    for seed in range(5):
+        graph = _random_graph(40, 0.15, seed=seed)
+        colors = greedy_coloring(graph)
+        assert is_proper_coloring(graph, colors)
+
+
+def test_color_count_bounded_by_max_degree_plus_one():
+    for seed in range(5):
+        graph = _random_graph(30, 0.2, seed=seed)
+        colors = greedy_coloring(graph)
+        max_degree = max((graph.degree(v) for v in graph.vertices()), default=0)
+        assert color_count(colors) <= max_degree + 1
+
+
+def test_is_proper_coloring_detects_missing_vertices():
+    graph = AttributedGraph.from_edges([(0, 1)], {0: "a", 1: "a"})
+    assert not is_proper_coloring(graph, {0: 0})
+
+
+def test_is_proper_coloring_detects_conflicts():
+    graph = AttributedGraph.from_edges([(0, 1)], {0: "a", 1: "a"})
+    assert not is_proper_coloring(graph, {0: 0, 1: 0})

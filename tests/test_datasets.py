@@ -1,0 +1,83 @@
+"""Unit tests of the synthetic dataset registry."""
+
+import pytest
+
+from repro.core.models import FairnessParams
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    dataset_table,
+    get_dataset_spec,
+    load_dataset,
+)
+
+
+EXPECTED_NAMES = {
+    "youtube-small",
+    "twitter-small",
+    "imdb-small",
+    "wiki-small",
+    "dblp-small",
+}
+
+
+def test_registry_contains_the_five_paper_datasets():
+    assert set(dataset_names()) == EXPECTED_NAMES
+    assert set(DATASETS) == EXPECTED_NAMES
+
+
+def test_get_dataset_spec_unknown_name():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        get_dataset_spec("imdb-large")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_datasets_are_loadable_and_non_trivial(name):
+    graph = load_dataset(name, seed=0)
+    assert graph.num_upper > 50
+    assert graph.num_lower > 50
+    assert graph.num_edges > 200
+    assert set(graph.upper_attribute_domain) == {"a", "b"}
+    assert set(graph.lower_attribute_domain) == {"a", "b"}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_datasets_are_deterministic_per_seed(name):
+    assert load_dataset(name, seed=3) == load_dataset(name, seed=3)
+    assert load_dataset(name, seed=3) != load_dataset(name, seed=4)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_default_parameters_are_valid(name):
+    spec = get_dataset_spec(name)
+    assert isinstance(spec.ssfbc_defaults, FairnessParams)
+    assert isinstance(spec.bsfbc_defaults, FairnessParams)
+    assert spec.ssfbc_defaults.alpha >= 1
+    assert spec.bsfbc_defaults.alpha >= 1
+    assert spec.ssfbc_defaults.theta is not None
+
+
+def test_paper_statistics_recorded():
+    spec = get_dataset_spec("dblp-small")
+    assert spec.paper_num_edges == 12_282_059
+    assert spec.paper_num_upper == 1_953_085
+
+
+def test_dataset_table_rows():
+    rows = dataset_table(seed=0)
+    assert len(rows) == 5
+    for name, num_upper, num_lower, num_edges, density in rows:
+        assert name in EXPECTED_NAMES
+        assert num_upper > 0 and num_lower > 0 and num_edges > 0
+        assert 0.0 < density < 1.0
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_default_parameters_yield_results(name):
+    """Every dataset's SSFBC defaults select a non-empty result set."""
+    from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+
+    spec = get_dataset_spec(name)
+    graph = spec.load(seed=0)
+    result = fair_bcem_pp(graph, spec.ssfbc_defaults.with_theta(None))
+    assert len(result.bicliques) > 0

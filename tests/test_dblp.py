@@ -1,0 +1,62 @@
+"""Unit tests of the synthetic DBLP-like collaboration network builder."""
+
+import pytest
+
+from repro.datasets.dblp import build_collaboration_graph, seniority_mix
+
+
+class TestBuilder:
+    def test_shape_and_attributes(self):
+        graph = build_collaboration_graph(num_groups=5, seed=0)
+        assert graph.num_upper > 0
+        assert graph.num_lower > 0
+        assert set(graph.upper_attribute_domain) <= {"DB", "AI"}
+        assert set(graph.lower_attribute_domain) == {"S", "J"}
+
+    def test_custom_areas(self):
+        graph = build_collaboration_graph(num_groups=4, areas=("DB", "SYS"), seed=1)
+        assert set(graph.upper_attribute_domain) <= {"DB", "SYS"}
+
+    def test_deterministic(self):
+        assert build_collaboration_graph(seed=2) == build_collaboration_graph(seed=2)
+        assert build_collaboration_graph(seed=2) != build_collaboration_graph(seed=3)
+
+    def test_every_paper_has_authors(self):
+        graph = build_collaboration_graph(num_groups=6, seed=4)
+        for paper in graph.upper_vertices():
+            assert graph.degree_upper(paper) >= 2
+
+    def test_labels_are_human_readable(self):
+        graph = build_collaboration_graph(num_groups=3, seed=5)
+        scholar = graph.lower_vertices()[0]
+        assert " " in graph.lower_label(scholar)
+        paper = graph.upper_vertices()[0]
+        assert graph.upper_label(paper).startswith("paper-")
+
+
+class TestSeniorityMix:
+    def test_whole_graph(self):
+        graph = build_collaboration_graph(num_groups=5, seed=6)
+        mix = seniority_mix(graph)
+        assert set(mix) <= {"S", "J"}
+        assert sum(mix.values()) == graph.num_lower
+
+    def test_subset(self):
+        graph = build_collaboration_graph(num_groups=5, seed=6)
+        scholars = list(graph.lower_vertices())[:4]
+        mix = seniority_mix(graph, scholars)
+        assert sum(mix.values()) == 4
+
+
+class TestCaseStudyPipeline:
+    def test_fair_collaborations_exist(self):
+        from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+        from repro.core.models import FairnessParams
+
+        graph = build_collaboration_graph(num_groups=10, senior_fraction=0.5, seed=0)
+        result = fair_bcem_pp(graph, FairnessParams(2, 2, 2))
+        assert len(result.bicliques) > 0
+        for biclique in result.bicliques:
+            mix = seniority_mix(graph, biclique.lower)
+            assert mix.get("S", 0) >= 2 and mix.get("J", 0) >= 2
+            assert abs(mix.get("S", 0) - mix.get("J", 0)) <= 2

@@ -1,0 +1,88 @@
+"""Property-based tests: every production algorithm equals the brute force.
+
+These are the strongest correctness tests in the suite: on random attributed
+bipartite graphs, every enumeration algorithm must return *exactly* the set
+of fair bicliques defined by Definitions 3-6 (computed by the exponential
+reference enumerators).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.naive import bnsf, nsf
+from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.core.enumeration.reference import (
+    reference_bsfbc,
+    reference_pbsfbc,
+    reference_pssfbc,
+    reference_ssfbc,
+)
+from repro.core.models import FairnessParams
+from repro.graph.generators import random_bipartite_graph
+
+
+@st.composite
+def graph_and_params(draw, max_side=6, with_theta=False):
+    seed = draw(st.integers(0, 100_000))
+    num_upper = draw(st.integers(2, max_side))
+    num_lower = draw(st.integers(2, max_side))
+    probability = draw(st.sampled_from([0.35, 0.5, 0.7, 0.9]))
+    domain_size = draw(st.sampled_from([2, 2, 3]))
+    domain = ("a", "b", "c")[:domain_size]
+    alpha = draw(st.integers(1, 2))
+    beta = draw(st.integers(1, 2))
+    delta = draw(st.integers(0, 2))
+    theta = draw(st.sampled_from([0.3, 0.4, 0.5])) if with_theta else None
+    graph = random_bipartite_graph(
+        num_upper, num_lower, probability, upper_domain=domain, lower_domain=domain, seed=seed
+    )
+    return graph, FairnessParams(alpha, beta, delta, theta)
+
+
+@given(graph_and_params())
+@settings(max_examples=40, deadline=None)
+def test_ssfbc_algorithms_match_reference(case):
+    graph, params = case
+    expected = set(reference_ssfbc(graph, params))
+    assert fair_bcem(graph, params).as_set() == expected
+    assert fair_bcem_pp(graph, params).as_set() == expected
+    assert nsf(graph, params).as_set() == expected
+
+
+@given(graph_and_params(max_side=5))
+@settings(max_examples=30, deadline=None)
+def test_bsfbc_algorithms_match_reference(case):
+    graph, params = case
+    expected = set(reference_bsfbc(graph, params))
+    assert bfair_bcem(graph, params).as_set() == expected
+    assert bfair_bcem_pp(graph, params).as_set() == expected
+    assert bnsf(graph, params).as_set() == expected
+
+
+@given(graph_and_params(with_theta=True))
+@settings(max_examples=30, deadline=None)
+def test_pssfbc_algorithm_matches_reference(case):
+    graph, params = case
+    expected = set(reference_pssfbc(graph, params))
+    assert fair_bcem_pro_pp(graph, params).as_set() == expected
+
+
+@given(graph_and_params(max_side=5, with_theta=True))
+@settings(max_examples=25, deadline=None)
+def test_pbsfbc_algorithm_matches_reference(case):
+    graph, params = case
+    expected = set(reference_pbsfbc(graph, params))
+    assert bfair_bcem_pro_pp(graph, params).as_set() == expected
+
+
+@given(graph_and_params())
+@settings(max_examples=25, deadline=None)
+def test_orderings_and_prunings_do_not_change_results(case):
+    graph, params = case
+    baseline = fair_bcem_pp(graph, params).as_set()
+    assert fair_bcem_pp(graph, params, ordering="id").as_set() == baseline
+    assert fair_bcem_pp(graph, params, pruning="none").as_set() == baseline
+    assert fair_bcem(graph, params, ordering="id", pruning="core").as_set() == baseline

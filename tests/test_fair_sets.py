@@ -1,0 +1,199 @@
+"""Unit tests of the fair-set machinery (Definitions 11-12, Algorithms 4 & 7)."""
+
+import math
+
+import pytest
+
+from repro.core.fair_sets import (
+    combination_pro_count_vector,
+    count_maximal_fair_subsets,
+    count_vector,
+    enumerate_maximal_fair_subsets,
+    enumerate_maximal_proportion_fair_subsets,
+    feasible_proportion_fair_count_vectors,
+    is_fair_counts,
+    is_fair_set,
+    is_maximal_fair_subset,
+    is_maximal_proportion_fair_subset,
+    is_proportion_fair_counts,
+    maximal_fair_count_vector,
+    maximal_proportion_fair_count_vectors,
+    mfs_check,
+)
+
+DOMAIN = ("a", "b")
+ATTRS = {0: "a", 1: "a", 2: "a", 3: "b", 4: "b", 5: "b", 6: "a", 7: "b"}
+
+
+def attr_of(vertex):
+    return ATTRS[vertex]
+
+
+class TestFairPredicates:
+    def test_is_fair_counts_basic(self):
+        assert is_fair_counts({"a": 2, "b": 2}, DOMAIN, k=2, delta=0)
+        assert not is_fair_counts({"a": 2, "b": 1}, DOMAIN, k=2, delta=1)
+        assert not is_fair_counts({"a": 4, "b": 2}, DOMAIN, k=2, delta=1)
+        assert is_fair_counts({"a": 4, "b": 2}, DOMAIN, k=2, delta=2)
+
+    def test_missing_value_counts_as_zero(self):
+        assert not is_fair_counts({"a": 3}, DOMAIN, k=1, delta=5)
+        assert is_fair_counts({"a": 0, "b": 0}, DOMAIN, k=0, delta=0)
+
+    def test_empty_domain_is_always_fair(self):
+        assert is_fair_counts({}, (), k=5, delta=0)
+
+    def test_is_fair_set(self):
+        assert is_fair_set([0, 1, 3, 4], attr_of, DOMAIN, k=2, delta=0)
+        assert not is_fair_set([0, 1, 2, 3], attr_of, DOMAIN, k=1, delta=1)
+
+    def test_proportion_fair_counts(self):
+        assert is_proportion_fair_counts({"a": 2, "b": 3}, DOMAIN, 1, 2, 0.4)
+        assert not is_proportion_fair_counts({"a": 1, "b": 3}, DOMAIN, 1, 2, 0.4)
+        # theta None or 0 degenerates to the plain fair predicate
+        assert is_proportion_fair_counts({"a": 1, "b": 3}, DOMAIN, 1, 2, None)
+        assert is_proportion_fair_counts({"a": 1, "b": 3}, DOMAIN, 1, 2, 0.0)
+
+    def test_count_vector(self):
+        assert count_vector([0, 1, 3], attr_of, DOMAIN) == {"a": 2, "b": 1}
+        assert count_vector([], attr_of, DOMAIN) == {"a": 0, "b": 0}
+
+
+class TestMaximalFairCountVector:
+    def test_basic(self):
+        assert maximal_fair_count_vector({"a": 5, "b": 3}, DOMAIN, k=1, delta=1) == {
+            "a": 4,
+            "b": 3,
+        }
+
+    def test_no_fair_subset(self):
+        assert maximal_fair_count_vector({"a": 5, "b": 0}, DOMAIN, k=1, delta=1) is None
+
+    def test_delta_zero(self):
+        assert maximal_fair_count_vector({"a": 5, "b": 3}, DOMAIN, k=1, delta=0) == {
+            "a": 3,
+            "b": 3,
+        }
+
+    def test_empty_domain(self):
+        assert maximal_fair_count_vector({}, (), k=3, delta=0) == {}
+
+    def test_vector_dominates_every_fair_vector(self):
+        sizes = {"a": 6, "b": 4}
+        target = maximal_fair_count_vector(sizes, DOMAIN, k=1, delta=2)
+        for ca in range(sizes["a"] + 1):
+            for cb in range(sizes["b"] + 1):
+                if is_fair_counts({"a": ca, "b": cb}, DOMAIN, 1, 2):
+                    assert ca <= target["a"] and cb <= target["b"]
+
+
+class TestMaximalFairSubset:
+    def test_maximal_subset_detected(self):
+        superset = [0, 1, 2, 3, 4]  # a,a,a,b,b
+        assert is_maximal_fair_subset([0, 1, 2, 3, 4], superset, attr_of, DOMAIN, 1, 1)
+        assert not is_maximal_fair_subset([0, 1, 3, 4], superset, attr_of, DOMAIN, 1, 1)
+
+    def test_unfair_subset_is_not_maximal(self):
+        superset = [0, 1, 2, 3]
+        assert not is_maximal_fair_subset([0, 1, 2], superset, attr_of, DOMAIN, 1, 1)
+
+    def test_subset_missing_value_entirely(self):
+        superset = [0, 1, 2]
+        assert not is_maximal_fair_subset([0, 1], superset, attr_of, DOMAIN, 1, 1)
+
+    def test_agreement_with_paper_mfs_check(self):
+        superset = [0, 1, 2, 3, 4, 5]
+        for delta in (0, 1, 2):
+            for k in (1, 2):
+                for subset_mask in range(1 << len(superset)):
+                    subset = [superset[i] for i in range(len(superset)) if subset_mask >> i & 1]
+                    if not is_fair_set(subset, attr_of, DOMAIN, k, delta):
+                        continue
+                    expected = is_maximal_fair_subset(subset, superset, attr_of, DOMAIN, k, delta)
+                    assert mfs_check(subset, superset, attr_of, DOMAIN, k, delta) == expected
+
+
+class TestEnumerateMaximalFairSubsets:
+    def test_count_and_shape(self):
+        superset = [0, 1, 2, 6, 3, 4]  # four 'a', two 'b'
+        subsets = list(enumerate_maximal_fair_subsets(superset, attr_of, DOMAIN, 1, 1))
+        # maximal vector is (3, 2): choose 3 of 4 a's -> 4 subsets
+        assert len(subsets) == 4
+        for subset in subsets:
+            assert is_maximal_fair_subset(subset, superset, attr_of, DOMAIN, 1, 1)
+        assert len(set(subsets)) == len(subsets)
+
+    def test_empty_when_no_fair_subset(self):
+        subsets = list(enumerate_maximal_fair_subsets([0, 1, 2], attr_of, DOMAIN, 2, 1))
+        assert subsets == []
+
+    def test_count_matches_formula(self):
+        superset = [0, 1, 2, 6, 3, 4, 5, 7]  # four a, four b
+        sizes = count_vector(superset, attr_of, DOMAIN)
+        assert count_maximal_fair_subsets(sizes, DOMAIN, 1, 1) == len(
+            list(enumerate_maximal_fair_subsets(superset, attr_of, DOMAIN, 1, 1))
+        )
+
+    def test_count_formula_values(self):
+        assert count_maximal_fair_subsets({"a": 5, "b": 3}, DOMAIN, 1, 1) == math.comb(5, 4)
+        assert count_maximal_fair_subsets({"a": 5, "b": 0}, DOMAIN, 1, 1) == 0
+
+
+class TestProportionalVariants:
+    def test_combination_pro_matches_paper_formula(self):
+        vector = combination_pro_count_vector({"a": 10, "b": 3}, DOMAIN, 1, 5, 0.4)
+        # msize=3, cap=floor(3*0.6/0.4)=4, so a -> min(10, 8, 4) = 4
+        assert vector == {"a": 4, "b": 3}
+
+    def test_combination_pro_no_subset(self):
+        assert combination_pro_count_vector({"a": 10, "b": 0}, DOMAIN, 1, 5, 0.4) is None
+
+    def test_two_value_general_enumeration_matches_paper_formula(self):
+        sizes = {"a": 7, "b": 4}
+        general = maximal_proportion_fair_count_vectors(sizes, DOMAIN, 1, 2, 0.4)
+        paper = combination_pro_count_vector(sizes, DOMAIN, 1, 2, 0.4)
+        assert general == [paper]
+
+    def test_theta_zero_matches_plain_model(self):
+        sizes = {"a": 6, "b": 4}
+        general = maximal_proportion_fair_count_vectors(sizes, DOMAIN, 1, 2, None)
+        assert general == [maximal_fair_count_vector(sizes, DOMAIN, 1, 2)]
+
+    def test_feasible_vectors_respect_constraints(self):
+        sizes = {"a": 5, "b": 4}
+        for vector in feasible_proportion_fair_count_vectors(sizes, DOMAIN, 1, 2, 0.4):
+            counts = dict(zip(DOMAIN, vector))
+            assert is_proportion_fair_counts(counts, DOMAIN, 1, 2, 0.4)
+            assert counts["a"] <= sizes["a"] and counts["b"] <= sizes["b"]
+
+    def test_three_value_domains_can_have_multiple_maximal_vectors(self):
+        domain = ("a", "b", "c")
+        sizes = {"a": 6, "b": 6, "c": 2}
+        vectors = maximal_proportion_fair_count_vectors(sizes, domain, 1, 4, 0.25)
+        assert len(vectors) >= 1
+        # none of the returned vectors dominates another
+        for first in vectors:
+            for second in vectors:
+                if first != second:
+                    assert not all(first[a] >= second[a] for a in domain)
+
+    def test_enumerate_maximal_proportion_fair_subsets(self):
+        superset = [0, 1, 2, 6, 3, 4]  # four a, two b
+        subsets = list(
+            enumerate_maximal_proportion_fair_subsets(superset, attr_of, DOMAIN, 1, 2, 0.4)
+        )
+        assert subsets
+        for subset in subsets:
+            assert is_maximal_proportion_fair_subset(
+                subset, superset, attr_of, DOMAIN, 1, 2, 0.4
+            )
+        assert len(set(subsets)) == len(subsets)
+
+    def test_is_maximal_proportion_fair_subset_rejects_extendable(self):
+        superset = [0, 1, 3, 4]  # two a, two b
+        assert not is_maximal_proportion_fair_subset(
+            [0, 3], superset, attr_of, DOMAIN, 1, 2, 0.4
+        )
+        assert is_maximal_proportion_fair_subset(
+            [0, 1, 3, 4], superset, attr_of, DOMAIN, 1, 2, 0.4
+        )

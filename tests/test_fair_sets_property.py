@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) of the fair-set machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fair_sets import (
+    count_maximal_fair_subsets,
+    count_vector,
+    enumerate_maximal_fair_subsets,
+    enumerate_maximal_proportion_fair_subsets,
+    is_fair_set,
+    is_maximal_fair_subset,
+    is_maximal_proportion_fair_subset,
+    is_proportion_fair_set,
+    maximal_fair_count_vector,
+    maximal_proportion_fair_count_vectors,
+    mfs_check,
+)
+
+DOMAIN = ("a", "b")
+
+
+@st.composite
+def attributed_sets(draw, max_size=8, values=DOMAIN):
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    attrs = {i: draw(st.sampled_from(values)) for i in range(size)}
+    return attrs
+
+
+@given(attributed_sets(), st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=150, deadline=None)
+def test_maximal_vector_dominates_all_fair_subsets(attrs, k, delta):
+    """The maximal fair count vector dominates every fair subset's counts."""
+    vertices = sorted(attrs)
+    sizes = count_vector(vertices, attrs.__getitem__, DOMAIN)
+    target = maximal_fair_count_vector(sizes, DOMAIN, k, delta)
+    for mask in range(1 << len(vertices)):
+        subset = [vertices[i] for i in range(len(vertices)) if mask >> i & 1]
+        if is_fair_set(subset, attrs.__getitem__, DOMAIN, k, delta):
+            counts = count_vector(subset, attrs.__getitem__, DOMAIN)
+            assert target is not None
+            assert all(counts[a] <= target[a] for a in DOMAIN)
+
+
+@given(attributed_sets(), st.integers(0, 2), st.integers(0, 2))
+@settings(max_examples=100, deadline=None)
+def test_enumeration_yields_exactly_the_maximal_fair_subsets(attrs, k, delta):
+    """Combination enumerates exactly the brute-force maximal fair subsets."""
+    vertices = sorted(attrs)
+    attr_of = attrs.__getitem__
+    enumerated = set(enumerate_maximal_fair_subsets(vertices, attr_of, DOMAIN, k, delta))
+    # brute force: fair subsets with no fair proper superset
+    fair_subsets = []
+    for mask in range(1 << len(vertices)):
+        subset = frozenset(vertices[i] for i in range(len(vertices)) if mask >> i & 1)
+        if is_fair_set(subset, attr_of, DOMAIN, k, delta):
+            fair_subsets.append(subset)
+    expected = {
+        s for s in fair_subsets if not any(s < other for other in fair_subsets)
+    }
+    assert enumerated == expected
+    sizes = count_vector(vertices, attr_of, DOMAIN)
+    assert count_maximal_fair_subsets(sizes, DOMAIN, k, delta) == len(expected)
+
+
+@given(attributed_sets(max_size=7), st.integers(0, 2), st.integers(0, 2))
+@settings(max_examples=100, deadline=None)
+def test_is_maximal_fair_subset_agrees_with_mfs_check(attrs, k, delta):
+    """The count-vector maximality test agrees with the paper's Algorithm 4."""
+    vertices = sorted(attrs)
+    attr_of = attrs.__getitem__
+    for mask in range(1 << len(vertices)):
+        subset = [vertices[i] for i in range(len(vertices)) if mask >> i & 1]
+        if not is_fair_set(subset, attr_of, DOMAIN, k, delta):
+            continue
+        assert is_maximal_fair_subset(subset, vertices, attr_of, DOMAIN, k, delta) == mfs_check(
+            subset, vertices, attr_of, DOMAIN, k, delta
+        )
+
+
+@given(
+    attributed_sets(max_size=7),
+    st.integers(1, 2),
+    st.integers(0, 2),
+    st.sampled_from([0.3, 0.4, 0.5, None]),
+)
+@settings(max_examples=100, deadline=None)
+def test_proportional_enumeration_matches_brute_force(attrs, k, delta, theta):
+    """CombinationPro (generalised) matches the brute-force definition."""
+    vertices = sorted(attrs)
+    attr_of = attrs.__getitem__
+    enumerated = set(
+        enumerate_maximal_proportion_fair_subsets(vertices, attr_of, DOMAIN, k, delta, theta)
+    )
+    fair_subsets = []
+    for mask in range(1 << len(vertices)):
+        subset = frozenset(vertices[i] for i in range(len(vertices)) if mask >> i & 1)
+        if is_proportion_fair_set(subset, attr_of, DOMAIN, k, delta, theta):
+            fair_subsets.append(subset)
+    expected = {
+        s for s in fair_subsets if not any(s < other for other in fair_subsets)
+    }
+    assert enumerated == expected
+
+
+@given(
+    attributed_sets(max_size=7),
+    st.integers(1, 2),
+    st.integers(0, 2),
+    st.sampled_from([0.3, 0.4, 0.5]),
+)
+@settings(max_examples=80, deadline=None)
+def test_proportional_maximality_check_consistent_with_enumeration(attrs, k, delta, theta):
+    """A subset is reported maximal iff the enumeration produces it."""
+    vertices = sorted(attrs)
+    attr_of = attrs.__getitem__
+    enumerated = set(
+        enumerate_maximal_proportion_fair_subsets(vertices, attr_of, DOMAIN, k, delta, theta)
+    )
+    for subset in enumerated:
+        assert is_maximal_proportion_fair_subset(
+            subset, vertices, attr_of, DOMAIN, k, delta, theta
+        )
+
+
+@given(attributed_sets(max_size=10), st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=150, deadline=None)
+def test_maximal_proportion_vectors_reduce_to_plain_model_without_theta(attrs, k, delta):
+    """With theta disabled there is exactly one maximal count vector."""
+    vertices = sorted(attrs)
+    sizes = count_vector(vertices, attrs.__getitem__, DOMAIN)
+    plain = maximal_fair_count_vector(sizes, DOMAIN, k, delta)
+    general = maximal_proportion_fair_count_vectors(sizes, DOMAIN, k, delta, None)
+    if plain is None:
+        assert general == []
+    else:
+        assert general == [plain]

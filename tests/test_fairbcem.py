@@ -1,0 +1,110 @@
+"""Unit tests of the FairBCEM branch-and-bound algorithm (Algorithm 5)."""
+
+import pytest
+
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.reference import reference_ssfbc
+from repro.core.models import Biclique, FairnessParams, biclique_is_fair_lower
+from repro.graph.generators import planted_biclique_graph, random_bipartite_graph
+
+from conftest import make_graph
+
+
+class TestSmallGraphs:
+    def test_complete_balanced_biclique(self, tiny_graph):
+        result = fair_bcem(tiny_graph, FairnessParams(2, 1, 0))
+        assert result.as_set() == {Biclique({0, 1}, {0, 1})}
+
+    def test_alpha_too_large_gives_nothing(self, tiny_graph):
+        assert len(fair_bcem(tiny_graph, FairnessParams(3, 1, 0))) == 0
+
+    def test_beta_too_large_gives_nothing(self, tiny_graph):
+        assert len(fair_bcem(tiny_graph, FairnessParams(1, 2, 0))) == 0
+
+    def test_planted_fair_biclique_is_found(self, small_balanced_graph):
+        result = fair_bcem(small_balanced_graph, FairnessParams(2, 2, 0))
+        assert Biclique({0, 1}, {0, 1, 2, 3}) in result.as_set()
+
+    def test_alpha_must_be_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            fair_bcem(tiny_graph, FairnessParams(0, 1, 1))
+
+    def test_empty_graph(self):
+        graph = make_graph([], {0: "a"}, {0: "x"})
+        assert len(fair_bcem(graph, FairnessParams(1, 1, 1))) == 0
+
+    def test_results_are_fair_maximal_bicliques(self, paper_example_graph):
+        params = FairnessParams(1, 2, 1)
+        result = fair_bcem(paper_example_graph, params)
+        assert result.bicliques
+        for biclique in result.bicliques:
+            assert biclique.is_biclique_of(paper_example_graph)
+            assert biclique_is_fair_lower(biclique, paper_example_graph, params)
+        assert result.as_set() == set(reference_ssfbc(paper_example_graph, params))
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        graph = random_bipartite_graph(6, 6, 0.6, seed=seed)
+        params = FairnessParams(2, 1, 1)
+        assert fair_bcem(graph, params).as_set() == set(reference_ssfbc(graph, params))
+
+    @pytest.mark.parametrize("delta", [0, 1, 2])
+    def test_delta_values(self, delta):
+        graph = random_bipartite_graph(7, 7, 0.6, seed=11)
+        params = FairnessParams(2, 1, delta)
+        assert fair_bcem(graph, params).as_set() == set(reference_ssfbc(graph, params))
+
+    @pytest.mark.parametrize("pruning", ["none", "core", "colorful"])
+    def test_pruning_variants_agree(self, pruning):
+        graph = random_bipartite_graph(8, 8, 0.5, seed=13)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_ssfbc(graph, params))
+        assert fair_bcem(graph, params, pruning=pruning).as_set() == expected
+
+    @pytest.mark.parametrize("ordering", ["degree", "id"])
+    def test_orderings_agree(self, ordering):
+        graph = random_bipartite_graph(8, 8, 0.5, seed=17)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_ssfbc(graph, params))
+        assert fair_bcem(graph, params, ordering=ordering).as_set() == expected
+
+    def test_search_pruning_off_matches_reference(self):
+        graph = random_bipartite_graph(7, 7, 0.5, seed=19)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_ssfbc(graph, params))
+        assert fair_bcem(graph, params, search_pruning=False).as_set() == expected
+
+    def test_search_pruning_reduces_search_nodes(self):
+        graph = random_bipartite_graph(10, 12, 0.4, seed=23)
+        params = FairnessParams(2, 2, 1)
+        pruned = fair_bcem(graph, params, search_pruning=True)
+        unpruned = fair_bcem(graph, params, search_pruning=False)
+        assert pruned.as_set() == unpruned.as_set()
+        assert pruned.stats.search_nodes <= unpruned.stats.search_nodes
+
+
+class TestStats:
+    def test_stats_populated(self, small_balanced_graph):
+        result = fair_bcem(small_balanced_graph, FairnessParams(2, 2, 0))
+        stats = result.stats
+        assert stats.algorithm == "FairBCEM"
+        assert stats.elapsed_seconds >= 0.0
+        assert stats.upper_vertices_before_pruning == 3
+        assert stats.lower_vertices_before_pruning == 4
+        assert stats.upper_vertices_after_pruning <= 3
+
+    def test_planted_structure_with_three_attributes(self):
+        graph = planted_biclique_graph(
+            8,
+            9,
+            background_probability=0.1,
+            planted=[((0, 1), (0, 1, 2, 3, 4, 5))],
+            lower_domain=("a", "b", "c"),
+            lower_attributes={0: "a", 1: "a", 2: "b", 3: "b", 4: "c", 5: "c"},
+            seed=5,
+        )
+        params = FairnessParams(2, 2, 0)
+        result = fair_bcem(graph, params)
+        assert result.as_set() == set(reference_ssfbc(graph, params))

@@ -1,0 +1,91 @@
+"""Unit tests of the FairBCEM++ algorithm (Algorithm 6)."""
+
+import pytest
+
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.reference import reference_ssfbc
+from repro.core.models import Biclique, FairnessParams
+from repro.graph.generators import block_bipartite_graph, random_bipartite_graph
+
+from conftest import make_graph
+
+
+class TestSmallGraphs:
+    def test_complete_balanced_biclique(self, tiny_graph):
+        result = fair_bcem_pp(tiny_graph, FairnessParams(2, 1, 0))
+        assert result.as_set() == {Biclique({0, 1}, {0, 1})}
+
+    def test_unbalanced_closure_is_split_into_maximal_fair_subsets(self):
+        # one maximal biclique {u0,u1} x {v0,v1,v2} with lower counts (2, 1):
+        # with delta=0 the SSFBCs keep one 'a' and the single 'b'.
+        edges = [(u, v) for u in (0, 1) for v in (0, 1, 2)]
+        graph = make_graph(
+            edges, {0: "a", 1: "b"}, {0: "a", 1: "a", 2: "b"}
+        )
+        params = FairnessParams(2, 1, 0)
+        result = fair_bcem_pp(graph, params)
+        assert result.as_set() == {
+            Biclique({0, 1}, {0, 2}),
+            Biclique({0, 1}, {1, 2}),
+        }
+
+    def test_alpha_must_be_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            fair_bcem_pp(tiny_graph, FairnessParams(0, 1, 1))
+
+    def test_empty_graph(self):
+        graph = make_graph([], {0: "a"}, {0: "x"})
+        assert len(fair_bcem_pp(graph, FairnessParams(1, 1, 1))) == 0
+
+    def test_no_duplicates(self):
+        graph = random_bipartite_graph(8, 8, 0.6, seed=31)
+        result = fair_bcem_pp(graph, FairnessParams(2, 1, 1))
+        assert len(result.bicliques) == len(result.as_set())
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        graph = random_bipartite_graph(6, 6, 0.6, seed=seed)
+        params = FairnessParams(2, 1, 1)
+        assert fair_bcem_pp(graph, params).as_set() == set(reference_ssfbc(graph, params))
+
+    @pytest.mark.parametrize("pruning", ["none", "core", "colorful"])
+    def test_pruning_variants_agree(self, pruning):
+        graph = random_bipartite_graph(8, 8, 0.5, seed=37)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_ssfbc(graph, params))
+        assert fair_bcem_pp(graph, params, pruning=pruning).as_set() == expected
+
+    @pytest.mark.parametrize("ordering", ["degree", "id"])
+    def test_orderings_agree(self, ordering):
+        graph = random_bipartite_graph(8, 8, 0.5, seed=41)
+        params = FairnessParams(2, 1, 1)
+        expected = set(reference_ssfbc(graph, params))
+        assert fair_bcem_pp(graph, params, ordering=ordering).as_set() == expected
+
+    @pytest.mark.parametrize("beta", [1, 2])
+    @pytest.mark.parametrize("delta", [0, 1, 2])
+    def test_parameter_grid(self, beta, delta):
+        graph = random_bipartite_graph(7, 7, 0.65, seed=43)
+        params = FairnessParams(2, beta, delta)
+        assert fair_bcem_pp(graph, params).as_set() == set(reference_ssfbc(graph, params))
+
+
+class TestAgreementWithFairBCEM:
+    """Integration: the two production algorithms must agree on larger graphs."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_block_graphs(self, seed):
+        graph = block_bipartite_graph(3, 8, 6, 0.6, 0.02, seed=seed)
+        params = FairnessParams(2, 2, 1)
+        basic = fair_bcem(graph, params)
+        improved = fair_bcem_pp(graph, params)
+        assert basic.as_set() == improved.as_set()
+
+    def test_stats_record_maximal_biclique_candidates(self):
+        graph = block_bipartite_graph(3, 8, 6, 0.6, 0.02, seed=9)
+        result = fair_bcem_pp(graph, FairnessParams(2, 2, 1))
+        assert result.stats.algorithm == "FairBCEM++"
+        assert result.stats.maximal_bicliques_considered >= len(result.bicliques) * 0

@@ -1,0 +1,117 @@
+"""Unit tests of the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    block_bipartite_graph,
+    planted_biclique_graph,
+    power_law_bipartite_graph,
+    random_bipartite_graph,
+)
+
+
+class TestRandomBipartiteGraph:
+    def test_shape(self):
+        graph = random_bipartite_graph(10, 20, 0.3, seed=1)
+        assert graph.num_upper == 10
+        assert graph.num_lower == 20
+
+    def test_determinism(self):
+        a = random_bipartite_graph(10, 10, 0.5, seed=42)
+        b = random_bipartite_graph(10, 10, 0.5, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_bipartite_graph(10, 10, 0.5, seed=1)
+        b = random_bipartite_graph(10, 10, 0.5, seed=2)
+        assert a != b
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(5, 5, 1.5)
+
+    def test_probability_extremes(self):
+        empty = random_bipartite_graph(4, 4, 0.0, seed=0)
+        full = random_bipartite_graph(4, 4, 1.0, seed=0)
+        assert empty.num_edges == 0
+        assert full.num_edges == 16
+
+    def test_attribute_domains(self):
+        graph = random_bipartite_graph(
+            30, 30, 0.2, upper_domain=("p", "q", "r"), lower_domain=("x",), seed=3
+        )
+        assert set(graph.upper_attribute_domain) <= {"p", "q", "r"}
+        assert graph.lower_attribute_domain == ("x",)
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(3, 3, 0.5, upper_domain=())
+
+
+class TestPowerLawGraph:
+    def test_edge_budget_respected(self):
+        graph = power_law_bipartite_graph(50, 100, 300, seed=5)
+        assert 0 < graph.num_edges <= 300
+
+    def test_heavy_tail(self):
+        graph = power_law_bipartite_graph(100, 200, 800, exponent=1.5, seed=7)
+        degrees = sorted((graph.degree_upper(u) for u in graph.upper_vertices()), reverse=True)
+        # the top vertex should collect far more edges than the median one
+        assert degrees[0] >= 5 * max(degrees[len(degrees) // 2], 1)
+
+    def test_determinism(self):
+        a = power_law_bipartite_graph(20, 30, 100, seed=11)
+        b = power_law_bipartite_graph(20, 30, 100, seed=11)
+        assert a == b
+
+    def test_empty_side_raises(self):
+        with pytest.raises(ValueError):
+            power_law_bipartite_graph(0, 10, 5)
+
+
+class TestBlockGraph:
+    def test_shape(self):
+        graph = block_bipartite_graph(3, 4, 5, seed=1)
+        assert graph.num_upper == 12
+        assert graph.num_lower == 15
+
+    def test_blocks_are_denser_than_background(self):
+        graph = block_bipartite_graph(
+            4, 10, 10, intra_probability=0.9, inter_probability=0.01, seed=2
+        )
+        intra = sum(
+            1
+            for u, v in graph.edges()
+            if u // 10 == v // 10
+        )
+        inter = graph.num_edges - intra
+        assert intra > inter
+
+
+class TestPlantedBicliqueGraph:
+    def test_planted_structure_is_complete(self):
+        graph = planted_biclique_graph(
+            8,
+            8,
+            background_probability=0.05,
+            planted=[((0, 1, 2), (0, 1, 2, 3))],
+            seed=3,
+        )
+        for u in (0, 1, 2):
+            for v in (0, 1, 2, 3):
+                assert graph.has_edge(u, v)
+
+    def test_explicit_attributes_override_random(self):
+        graph = planted_biclique_graph(
+            4,
+            4,
+            background_probability=0.0,
+            planted=[((0,), (0,))],
+            lower_attributes={0: "special"},
+            seed=0,
+        )
+        assert graph.lower_attribute(0) == "special"
+
+    def test_out_of_range_plant_raises(self):
+        with pytest.raises(ValueError):
+            planted_biclique_graph(2, 2, 0.0, planted=[((5,), (0,))])

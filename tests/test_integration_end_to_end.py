@@ -1,0 +1,88 @@
+"""Integration tests: the full pipeline on realistic synthetic workloads."""
+
+import pytest
+
+from repro import FairnessParams, enumerate_bsfbc, enumerate_ssfbc
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
+from repro.core.models import biclique_is_bi_fair, biclique_is_fair_lower
+from repro.datasets.registry import get_dataset_spec, load_dataset
+
+
+@pytest.fixture(scope="module")
+def dblp_graph():
+    return load_dataset("dblp-small", seed=0)
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return load_dataset("twitter-small", seed=0)
+
+
+class TestSSFBCOnDatasets:
+    def test_both_algorithms_agree_on_dblp(self, dblp_graph):
+        params = get_dataset_spec("dblp-small").ssfbc_defaults.with_theta(None)
+        basic = fair_bcem(dblp_graph, params)
+        improved = fair_bcem_pp(dblp_graph, params)
+        assert basic.as_set() == improved.as_set()
+        assert len(improved.bicliques) > 0
+
+    def test_results_satisfy_the_model_on_twitter(self, twitter_graph):
+        params = get_dataset_spec("twitter-small").ssfbc_defaults.with_theta(None)
+        result = fair_bcem_pp(twitter_graph, params)
+        assert len(result.bicliques) > 0
+        for biclique in result.bicliques[:50]:
+            assert biclique.is_biclique_of(twitter_graph)
+            assert biclique_is_fair_lower(biclique, twitter_graph, params)
+
+    def test_no_result_contains_another(self, dblp_graph):
+        params = get_dataset_spec("dblp-small").ssfbc_defaults.with_theta(None)
+        results = fair_bcem_pp(dblp_graph, params).bicliques
+        by_upper = {}
+        for biclique in results:
+            by_upper.setdefault(biclique.upper, []).append(biclique)
+        for group in by_upper.values():
+            for first in group:
+                for second in group:
+                    if first != second:
+                        assert not first.properly_contains(second)
+
+
+class TestBSFBCOnDatasets:
+    def test_both_algorithms_agree_on_dblp(self, dblp_graph):
+        params = get_dataset_spec("dblp-small").bsfbc_defaults.with_theta(None)
+        basic = bfair_bcem(dblp_graph, params)
+        improved = bfair_bcem_pp(dblp_graph, params)
+        assert basic.as_set() == improved.as_set()
+        assert len(improved.bicliques) > 0
+
+    def test_results_satisfy_the_model(self, dblp_graph):
+        params = get_dataset_spec("dblp-small").bsfbc_defaults.with_theta(None)
+        result = bfair_bcem_pp(dblp_graph, params)
+        for biclique in result.bicliques[:50]:
+            assert biclique.is_biclique_of(dblp_graph)
+            assert biclique_is_bi_fair(biclique, dblp_graph, params)
+
+
+class TestFacadeOnDatasets:
+    def test_facade_matches_direct_calls(self, dblp_graph):
+        params = FairnessParams(2, 2, 2)
+        assert (
+            enumerate_ssfbc(dblp_graph, params).as_set()
+            == fair_bcem_pp(dblp_graph, params).as_set()
+        )
+        bi_params = FairnessParams(1, 2, 2)
+        assert (
+            enumerate_bsfbc(dblp_graph, bi_params).as_set()
+            == bfair_bcem_pp(dblp_graph, bi_params).as_set()
+        )
+
+    def test_edge_sampling_pipeline(self, twitter_graph):
+        params = get_dataset_spec("twitter-small").ssfbc_defaults.with_theta(None)
+        sampled_graph = twitter_graph.edge_sampled_subgraph(0.3, seed=1)
+        sampled = fair_bcem_pp(sampled_graph, params)
+        assert sampled_graph.num_edges < twitter_graph.num_edges
+        for biclique in sampled.bicliques[:20]:
+            assert biclique.is_biclique_of(sampled_graph)
+            assert biclique_is_fair_lower(biclique, sampled_graph, params)

@@ -1,0 +1,80 @@
+"""Unit tests of graph I/O round trips."""
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraphError
+from repro.graph.io import (
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    load_graph_json,
+    read_attribute_file,
+    read_edge_list,
+    save_graph,
+    save_graph_json,
+    write_attribute_file,
+    write_edge_list,
+)
+
+from conftest import make_graph
+
+
+@pytest.fixture
+def graph():
+    return make_graph(
+        [(0, 0), (0, 1), (1, 1)],
+        upper_attrs={0: "a", 1: "b"},
+        lower_attrs={0: "x", 1: "y", 2: "x"},
+        upper_labels={0: "paper-0"},
+        lower_labels={1: "scholar-1"},
+    )
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, tmp_path, graph):
+        edges_path = tmp_path / "g.edges"
+        up_path = tmp_path / "g.upper"
+        low_path = tmp_path / "g.lower"
+        save_graph(graph, edges_path, up_path, low_path)
+        loaded = load_graph(edges_path, up_path, low_path)
+        assert loaded == graph
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n\n% konect header\n1 2\n3 4\n")
+        assert read_edge_list(path) == [(1, 2), (3, 4)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1\n")
+        with pytest.raises(BipartiteGraphError):
+            read_edge_list(path)
+
+    def test_attribute_file_round_trip(self, tmp_path):
+        path = tmp_path / "attrs.txt"
+        write_attribute_file(path, {3: "a", 1: "b"})
+        assert read_attribute_file(path) == {1: "b", 3: "a"}
+
+    def test_write_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list(path, [(1, 2), (3, 4)])
+        assert path.read_text() == "1 2\n3 4\n"
+
+
+class TestJsonFormat:
+    def test_round_trip_in_memory(self, graph):
+        text = graph_to_json(graph)
+        loaded = graph_from_json(text)
+        assert loaded == graph
+        assert loaded.upper_label(0) == "paper-0"
+        assert loaded.lower_label(1) == "scholar-1"
+
+    def test_round_trip_on_disk(self, tmp_path, graph):
+        path = tmp_path / "graph.json"
+        save_graph_json(graph, path)
+        assert load_graph_json(path) == graph
+
+    def test_isolated_vertices_survive(self, graph):
+        loaded = graph_from_json(graph_to_json(graph))
+        assert loaded.has_lower(2)
+        assert loaded.degree_lower(2) == 0

@@ -1,0 +1,108 @@
+"""Unit tests of the maximal biclique enumerator (iMBEA substrate)."""
+
+import pytest
+
+from repro.core.enumeration.mbea import enumerate_maximal_bicliques
+from repro.core.enumeration.reference import reference_maximal_bicliques
+from repro.core.models import Biclique, EnumerationStats
+from repro.graph.generators import random_bipartite_graph
+
+from conftest import make_graph
+
+
+class TestSmallGraphs:
+    def test_single_edge(self):
+        graph = make_graph([(0, 0)], {0: "a"}, {0: "x"})
+        assert enumerate_maximal_bicliques(graph) == [Biclique({0}, {0})]
+
+    def test_complete_bipartite_graph_has_one_maximal_biclique(self):
+        edges = [(u, v) for u in range(3) for v in range(4)]
+        graph = make_graph(edges, {u: "a" for u in range(3)}, {v: "x" for v in range(4)})
+        result = enumerate_maximal_bicliques(graph)
+        assert result == [Biclique(set(range(3)), set(range(4)))]
+
+    def test_two_disjoint_bicliques(self):
+        edges = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)]
+        graph = make_graph(
+            edges, {u: "a" for u in range(4)}, {v: "x" for v in range(4)}
+        )
+        result = set(enumerate_maximal_bicliques(graph))
+        assert result == {
+            Biclique({0, 1}, {0, 1}),
+            Biclique({2, 3}, {2, 3}),
+        }
+
+    def test_path_graph(self):
+        # u0-v0, u0-v1, u1-v1: maximal bicliques are ({u0},{v0,v1}) and ({u0,u1},{v1})
+        graph = make_graph([(0, 0), (0, 1), (1, 1)], {0: "a", 1: "a"}, {0: "x", 1: "x"})
+        result = set(enumerate_maximal_bicliques(graph))
+        assert result == {Biclique({0}, {0, 1}), Biclique({0, 1}, {1})}
+
+    def test_empty_graph(self):
+        graph = make_graph([], {0: "a"}, {0: "x"})
+        assert enumerate_maximal_bicliques(graph) == []
+
+    def test_results_have_non_empty_sides(self):
+        graph = random_bipartite_graph(6, 6, 0.5, seed=0)
+        for biclique in enumerate_maximal_bicliques(graph):
+            assert biclique.num_upper >= 1
+            assert biclique.num_lower >= 1
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        graph = random_bipartite_graph(6, 6, 0.5, seed=seed)
+        expected = set(reference_maximal_bicliques(graph))
+        assert set(enumerate_maximal_bicliques(graph)) == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_duplicates(self, seed):
+        graph = random_bipartite_graph(7, 7, 0.6, seed=seed)
+        result = enumerate_maximal_bicliques(graph)
+        assert len(result) == len(set(result))
+
+    @pytest.mark.parametrize("ordering", ["degree", "id"])
+    def test_orderings_agree(self, ordering):
+        graph = random_bipartite_graph(8, 8, 0.5, seed=3)
+        baseline = set(enumerate_maximal_bicliques(graph))
+        assert set(enumerate_maximal_bicliques(graph, ordering=ordering)) == baseline
+
+
+class TestFilters:
+    def test_min_upper_size_filters_and_still_returns_maximal_bicliques(self):
+        graph = random_bipartite_graph(7, 7, 0.5, seed=5)
+        all_bicliques = set(reference_maximal_bicliques(graph))
+        filtered = enumerate_maximal_bicliques(graph, min_upper_size=2)
+        assert set(filtered) == {b for b in all_bicliques if b.num_upper >= 2}
+
+    def test_min_lower_size_filter(self):
+        graph = random_bipartite_graph(7, 7, 0.5, seed=6)
+        all_bicliques = set(reference_maximal_bicliques(graph))
+        filtered = enumerate_maximal_bicliques(graph, min_lower_size=3)
+        assert set(filtered) == {b for b in all_bicliques if b.num_lower >= 3}
+
+    def test_lower_value_minimums(self):
+        graph = random_bipartite_graph(7, 7, 0.6, seed=7)
+        minimums = {value: 1 for value in graph.lower_attribute_domain}
+        filtered = enumerate_maximal_bicliques(graph, lower_value_minimums=minimums)
+        expected = set()
+        for biclique in reference_maximal_bicliques(graph):
+            counts = {value: 0 for value in graph.lower_attribute_domain}
+            for v in biclique.lower:
+                counts[graph.lower_attribute(v)] += 1
+            if all(counts[value] >= 1 for value in counts):
+                expected.add(biclique)
+        assert set(filtered) == expected
+
+    def test_invalid_threshold(self):
+        graph = random_bipartite_graph(3, 3, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            enumerate_maximal_bicliques(graph, min_upper_size=0)
+
+    def test_stats_are_accumulated(self):
+        graph = random_bipartite_graph(6, 6, 0.5, seed=2)
+        stats = EnumerationStats(algorithm="mbea")
+        enumerate_maximal_bicliques(graph, stats=stats)
+        assert stats.search_nodes > 0
+        assert stats.elapsed_seconds > 0.0

@@ -1,0 +1,160 @@
+"""Unit tests of :mod:`repro.core.models`."""
+
+import pytest
+
+from repro.core.models import (
+    Biclique,
+    EnumerationResult,
+    EnumerationStats,
+    FairnessParams,
+    FairnessParamsError,
+    biclique_is_bi_fair,
+    biclique_is_fair_lower,
+    biclique_is_fair_upper,
+)
+
+from conftest import make_graph
+
+
+class TestBiclique:
+    def test_sets_are_frozen(self):
+        biclique = Biclique({1, 2}, {3})
+        assert biclique.upper == frozenset({1, 2})
+        assert biclique.lower == frozenset({3})
+
+    def test_sizes(self):
+        biclique = Biclique({1, 2}, {3, 4, 5})
+        assert biclique.num_upper == 2
+        assert biclique.num_lower == 3
+        assert biclique.num_vertices == 5
+        assert biclique.num_edges == 6
+
+    def test_equality_and_hash_ignore_input_order(self):
+        a = Biclique([2, 1], [4, 3])
+        b = Biclique({1, 2}, {3, 4})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_key_is_sorted(self):
+        assert Biclique([5, 1], [9, 2]).key == ((1, 5), (2, 9))
+
+    def test_containment(self):
+        big = Biclique({1, 2}, {3, 4})
+        small = Biclique({1}, {3, 4})
+        assert big.contains(small)
+        assert big.properly_contains(small)
+        assert not small.contains(big)
+        assert big.contains(big)
+        assert not big.properly_contains(big)
+
+    def test_is_biclique_of(self, tiny_graph):
+        assert Biclique({0, 1}, {0, 1}).is_biclique_of(tiny_graph)
+        incomplete = make_graph(
+            [(0, 0), (1, 1)], upper_attrs={0: "a", 1: "b"}, lower_attrs={0: "a", 1: "b"}
+        )
+        assert not Biclique({0, 1}, {0, 1}).is_biclique_of(incomplete)
+
+    def test_describe_uses_labels(self):
+        graph = make_graph(
+            [(0, 0)],
+            upper_attrs={0: "a"},
+            lower_attrs={0: "x"},
+            upper_labels={0: "Paper"},
+            lower_labels={0: "Alice"},
+        )
+        text = Biclique({0}, {0}).describe(graph)
+        assert "Paper[a]" in text
+        assert "Alice[x]" in text
+
+
+class TestFairnessParams:
+    def test_valid(self):
+        params = FairnessParams(1, 2, 3, 0.4)
+        assert params.alpha == 1
+        assert params.is_proportional
+
+    def test_without_theta_not_proportional(self):
+        assert not FairnessParams(1, 1, 1).is_proportional
+        assert not FairnessParams(1, 1, 1, 0.0).is_proportional
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(FairnessParamsError):
+            FairnessParams(-1, 0, 0)
+        with pytest.raises(FairnessParamsError):
+            FairnessParams(0, -1, 0)
+        with pytest.raises(FairnessParamsError):
+            FairnessParams(0, 0, -1)
+
+    def test_theta_out_of_range_rejected(self):
+        with pytest.raises(FairnessParamsError):
+            FairnessParams(1, 1, 1, 1.5)
+
+    def test_with_theta(self):
+        params = FairnessParams(1, 2, 3)
+        assert params.with_theta(0.3).theta == 0.3
+        assert params.theta is None
+
+    def test_replace(self):
+        params = FairnessParams(1, 2, 3, 0.4)
+        replaced = params.replace(alpha=7)
+        assert replaced.alpha == 7
+        assert replaced.beta == 2
+        assert replaced.theta == 0.4
+
+
+class TestStatsAndResult:
+    def test_vertices_pruned(self):
+        stats = EnumerationStats(
+            upper_vertices_before_pruning=10,
+            lower_vertices_before_pruning=10,
+            upper_vertices_after_pruning=4,
+            lower_vertices_after_pruning=6,
+        )
+        assert stats.vertices_pruned == 10
+        assert stats.as_dict()["vertices_pruned"] == 10
+
+    def test_result_container(self):
+        bicliques = [Biclique({1}, {2}), Biclique({0}, {1})]
+        result = EnumerationResult(bicliques, EnumerationStats(algorithm="x"))
+        assert len(result) == 2
+        assert set(result) == set(bicliques)
+        assert result.sorted()[0].key <= result.sorted()[1].key
+        assert result.as_set() == frozenset(bicliques)
+
+
+class TestFairnessPredicates:
+    @pytest.fixture
+    def graph(self):
+        return make_graph(
+            [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2), (1, 3)],
+            upper_attrs={0: "a", 1: "b"},
+            lower_attrs={0: "a", 1: "a", 2: "b", 3: "b"},
+        )
+
+    def test_lower_fair(self, graph):
+        biclique = Biclique({0, 1}, {0, 1, 2, 3})
+        assert biclique_is_fair_lower(biclique, graph, FairnessParams(2, 2, 0))
+        assert not biclique_is_fair_lower(biclique, graph, FairnessParams(3, 2, 0))
+
+    def test_lower_unbalanced(self, graph):
+        biclique = Biclique({0, 1}, {0, 1, 2})
+        assert not biclique_is_fair_lower(biclique, graph, FairnessParams(1, 1, 0))
+        assert biclique_is_fair_lower(biclique, graph, FairnessParams(1, 1, 1))
+
+    def test_lower_proportional(self, graph):
+        biclique = Biclique({0, 1}, {0, 1, 2})
+        params = FairnessParams(1, 1, 2, theta=0.4)
+        assert not biclique_is_fair_lower(biclique, graph, params)
+        balanced = Biclique({0, 1}, {0, 1, 2, 3})
+        assert biclique_is_fair_lower(balanced, graph, params)
+
+    def test_upper_fair(self, graph):
+        biclique = Biclique({0, 1}, {0, 1})
+        assert biclique_is_fair_upper(biclique, graph, FairnessParams(1, 1, 0))
+        assert not biclique_is_fair_upper(Biclique({0}, {0}), graph, FairnessParams(1, 1, 0))
+
+    def test_bi_fair(self, graph):
+        biclique = Biclique({0, 1}, {0, 1, 2, 3})
+        assert biclique_is_bi_fair(biclique, graph, FairnessParams(1, 2, 1))
+        assert not biclique_is_bi_fair(biclique, graph, FairnessParams(2, 2, 1))

@@ -1,0 +1,52 @@
+"""Unit tests of the NSF / BNSF baselines."""
+
+import pytest
+
+from repro.core.enumeration.bfairbcem import bfair_bcem_pp
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.naive import bnsf, nsf
+from repro.core.enumeration.reference import reference_bsfbc, reference_ssfbc
+from repro.core.models import FairnessParams
+from repro.graph.generators import block_bipartite_graph, random_bipartite_graph
+
+
+class TestNSF:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        graph = random_bipartite_graph(6, 6, 0.6, seed=seed)
+        params = FairnessParams(2, 1, 1)
+        assert nsf(graph, params).as_set() == set(reference_ssfbc(graph, params))
+
+    def test_matches_fairbcem_pp_on_medium_graph(self):
+        graph = block_bipartite_graph(3, 8, 6, 0.6, 0.02, seed=2)
+        params = FairnessParams(2, 2, 1)
+        assert nsf(graph, params).as_set() == fair_bcem_pp(graph, params).as_set()
+
+    def test_explores_at_least_as_many_nodes_as_fairbcem(self):
+        from repro.core.enumeration.fairbcem import fair_bcem
+
+        graph = block_bipartite_graph(3, 8, 8, 0.55, 0.02, seed=3)
+        params = FairnessParams(2, 2, 1)
+        naive = nsf(graph, params)
+        pruned = fair_bcem(graph, params)
+        assert naive.as_set() == pruned.as_set()
+        assert naive.stats.search_nodes >= pruned.stats.search_nodes
+
+    def test_algorithm_name(self, tiny_graph):
+        assert nsf(tiny_graph, FairnessParams(1, 1, 1)).stats.algorithm == "NSF"
+
+
+class TestBNSF:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_reference(self, seed):
+        graph = random_bipartite_graph(5, 5, 0.7, seed=seed)
+        params = FairnessParams(1, 1, 1)
+        assert bnsf(graph, params).as_set() == set(reference_bsfbc(graph, params))
+
+    def test_matches_bfairbcem_pp_on_medium_graph(self):
+        graph = block_bipartite_graph(3, 7, 6, 0.6, 0.02, seed=4)
+        params = FairnessParams(1, 2, 1)
+        assert bnsf(graph, params).as_set() == bfair_bcem_pp(graph, params).as_set()
+
+    def test_algorithm_name(self, tiny_graph):
+        assert bnsf(tiny_graph, FairnessParams(1, 1, 1)).stats.algorithm == "BNSF"

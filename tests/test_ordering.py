@@ -1,0 +1,47 @@
+"""Unit tests of the DegOrd / IDOrd vertex orderings."""
+
+import pytest
+
+from repro.core.enumeration.ordering import (
+    DEGREE_ORDER,
+    ID_ORDER,
+    order_lower_vertices,
+    order_upper_vertices,
+)
+
+from conftest import make_graph
+
+
+@pytest.fixture
+def graph():
+    return make_graph(
+        [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0)],
+        upper_attrs={0: "a", 1: "a", 2: "b"},
+        lower_attrs={0: "x", 1: "x", 2: "y"},
+    )
+
+
+def test_id_order(graph):
+    assert order_lower_vertices(graph, [2, 0, 1], ID_ORDER) == [0, 1, 2]
+    assert order_upper_vertices(graph, [2, 1, 0], ID_ORDER) == [0, 1, 2]
+
+
+def test_degree_order_lower(graph):
+    # degrees: v0=3, v1=1, v2=1 -> v0 first, ties broken by id
+    assert order_lower_vertices(graph, [0, 1, 2], DEGREE_ORDER) == [0, 1, 2]
+    assert order_lower_vertices(graph, [2, 1], DEGREE_ORDER) == [1, 2]
+
+
+def test_degree_order_upper(graph):
+    # degrees: u0=3, u1=1, u2=1
+    assert order_upper_vertices(graph, [2, 1, 0], DEGREE_ORDER) == [0, 1, 2]
+
+
+def test_subset_is_preserved(graph):
+    ordered = order_lower_vertices(graph, [2, 0], DEGREE_ORDER)
+    assert set(ordered) == {0, 2}
+
+
+def test_unknown_ordering_raises(graph):
+    with pytest.raises(ValueError):
+        order_lower_vertices(graph, [0], "random")

@@ -1,0 +1,71 @@
+"""End-to-end checks on the Fig. 1 / Example 1 style graph of the paper."""
+
+import pytest
+
+from repro.core.enumeration.bfairbcem import bfair_bcem_pp
+from repro.core.enumeration.fairbcem import fair_bcem
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.reference import reference_bsfbc, reference_ssfbc
+from repro.core.models import Biclique, FairnessParams
+from repro.core.pruning.cfcore import colorful_fair_core, fair_core_pruning
+
+
+class TestExampleOne:
+    """Example 1 of the paper: alpha=1, beta=2, delta=1."""
+
+    PARAMS = FairnessParams(alpha=1, beta=2, delta=1)
+
+    def test_planted_community_is_found(self, paper_example_graph):
+        result = fair_bcem_pp(paper_example_graph, self.PARAMS)
+        planted = Biclique({3, 4}, {2, 4, 6, 9})
+        assert planted in result.as_set()
+
+    def test_algorithms_agree_with_reference(self, paper_example_graph):
+        expected = set(reference_ssfbc(paper_example_graph, self.PARAMS))
+        assert fair_bcem(paper_example_graph, self.PARAMS).as_set() == expected
+        assert fair_bcem_pp(paper_example_graph, self.PARAMS).as_set() == expected
+
+    def test_every_ssfbc_lower_side_is_balanced(self, paper_example_graph):
+        for biclique in fair_bcem_pp(paper_example_graph, self.PARAMS).bicliques:
+            values = [paper_example_graph.lower_attribute(v) for v in biclique.lower]
+            count_a, count_b = values.count("a"), values.count("b")
+            assert count_a >= 2 and count_b >= 2
+            assert abs(count_a - count_b) <= 1
+
+    def test_bsfbc_is_contained_in_an_ssfbc(self, paper_example_graph):
+        """Example 1 notes that a BSFBC is always contained in an SSFBC."""
+        params = FairnessParams(alpha=1, beta=2, delta=1)
+        ssfbc = fair_bcem_pp(paper_example_graph, params).bicliques
+        bsfbc = bfair_bcem_pp(paper_example_graph, params).bicliques
+        assert bfair_bcem_pp(paper_example_graph, params).as_set() == set(
+            reference_bsfbc(paper_example_graph, params)
+        )
+        for bi_biclique in bsfbc:
+            assert any(
+                bi_biclique.upper <= s.upper and bi_biclique.lower <= s.lower
+                for s in ssfbc
+            )
+
+
+class TestExampleTwoPruning:
+    """Example 2 of the paper: CFCore pruning with alpha=2, beta=2."""
+
+    def test_cfcore_prunes_at_least_as_much_as_fcore(self, paper_example_graph):
+        fcore = fair_core_pruning(paper_example_graph, 2, 2)
+        cfcore = colorful_fair_core(paper_example_graph, 2, 2)
+        assert cfcore.vertices_after <= fcore.vertices_after
+        assert cfcore.vertices_after < paper_example_graph.num_vertices
+
+    def test_planted_fair_biclique_survives_cfcore(self, paper_example_graph):
+        cfcore = colorful_fair_core(paper_example_graph, 2, 2)
+        # the planted SSFBC (u3,u4 x v2,v4,v6,v9) satisfies alpha=2, beta=2
+        for u in (3, 4):
+            assert cfcore.graph.has_upper(u)
+        for v in (2, 4, 6, 9):
+            assert cfcore.graph.has_lower(v)
+
+    def test_pruned_graph_still_yields_all_results(self, paper_example_graph):
+        params = FairnessParams(alpha=2, beta=2, delta=1)
+        expected = set(reference_ssfbc(paper_example_graph, params))
+        assert fair_bcem_pp(paper_example_graph, params).as_set() == expected
+        assert fair_bcem(paper_example_graph, params, pruning="core").as_set() == expected

@@ -1,0 +1,87 @@
+"""Unit tests of the 2-hop projection graph construction (Algorithms 3 & 8)."""
+
+import pytest
+
+from repro.graph.projection import (
+    build_bi_two_hop_graph,
+    build_two_hop_graph,
+    common_neighbor_counts,
+)
+
+from conftest import make_graph
+
+
+@pytest.fixture
+def graph():
+    # u0 adjacent to v0,v1,v2 ; u1 adjacent to v0,v1 ; u2 adjacent to v2,v3
+    return make_graph(
+        [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2), (2, 3)],
+        upper_attrs={0: "a", 1: "b", 2: "a"},
+        lower_attrs={0: "x", 1: "y", 2: "x", 3: "y"},
+    )
+
+
+class TestSingleSideProjection:
+    def test_alpha_one(self, graph):
+        projection = build_two_hop_graph(graph, alpha=1)
+        # v0-v1 share u0,u1; v0-v2 and v1-v2 share u0; v2-v3 share u2.
+        assert projection.has_edge(0, 1)
+        assert projection.has_edge(0, 2)
+        assert projection.has_edge(1, 2)
+        assert projection.has_edge(2, 3)
+        assert not projection.has_edge(0, 3)
+        assert projection.num_edges == 4
+
+    def test_alpha_two_requires_two_common_neighbours(self, graph):
+        projection = build_two_hop_graph(graph, alpha=2)
+        assert projection.has_edge(0, 1)
+        assert projection.num_edges == 1
+
+    def test_attributes_are_lower_side_attributes(self, graph):
+        projection = build_two_hop_graph(graph, alpha=1)
+        assert projection.attribute(0) == "x"
+        assert projection.attribute(3) == "y"
+        assert projection.attribute_domain == ("x", "y")
+
+    def test_restricted_vertices(self, graph):
+        projection = build_two_hop_graph(graph, alpha=1, fair_side_vertices=[0, 1])
+        assert projection.num_vertices == 2
+        assert projection.has_edge(0, 1)
+
+    def test_all_vertices_present_even_if_isolated(self, graph):
+        projection = build_two_hop_graph(graph, alpha=3)
+        assert projection.num_vertices == 4
+        assert projection.num_edges == 0
+
+
+class TestBiSideProjection:
+    def test_lower_projection_requires_per_value_common_neighbours(self, graph):
+        # v0 and v1 share u0 (value a) and u1 (value b) -> edge at alpha=1.
+        # v0 and v2 share only u0 (value a), no b neighbour -> no edge.
+        projection = build_bi_two_hop_graph(graph, alpha=1, fair_side="lower")
+        assert projection.has_edge(0, 1)
+        assert not projection.has_edge(0, 2)
+        assert not projection.has_edge(2, 3)
+
+    def test_upper_projection(self, graph):
+        # u0 and u1 share v0 (x) and v1 (y) -> edge; u0 and u2 share v2 (x) only.
+        projection = build_bi_two_hop_graph(graph, alpha=1, fair_side="upper")
+        assert projection.has_edge(0, 1)
+        assert not projection.has_edge(0, 2)
+        assert projection.attribute(0) == "a"
+
+    def test_invalid_side(self, graph):
+        with pytest.raises(ValueError):
+            build_bi_two_hop_graph(graph, alpha=1, fair_side="middle")
+
+
+def test_common_neighbor_counts(graph):
+    counts = common_neighbor_counts(graph, 0)
+    assert counts[1] == 2
+    assert counts[2] == 1
+    assert 3 not in counts
+
+
+def test_common_neighbor_counts_with_restriction(graph):
+    counts = common_neighbor_counts(graph, 0, restrict_to=[2])
+    assert counts == {2: 1}

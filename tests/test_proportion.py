@@ -1,0 +1,97 @@
+"""Unit tests of the proportional algorithms (FairBCEMPro++ / BFairBCEMPro++)."""
+
+import pytest
+
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.bfairbcem import bfair_bcem_pp
+from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.core.enumeration.reference import reference_pbsfbc, reference_pssfbc
+from repro.core.models import FairnessParams, biclique_is_fair_lower
+from repro.graph.generators import random_bipartite_graph
+
+from conftest import make_graph
+
+
+class TestPSSFBC:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference(self, seed):
+        graph = random_bipartite_graph(6, 6, 0.6, seed=seed)
+        params = FairnessParams(2, 1, 2, theta=0.4)
+        assert fair_bcem_pro_pp(graph, params).as_set() == set(
+            reference_pssfbc(graph, params)
+        )
+
+    @pytest.mark.parametrize("theta", [0.3, 0.4, 0.5])
+    def test_theta_grid(self, theta):
+        graph = random_bipartite_graph(7, 7, 0.6, seed=61)
+        params = FairnessParams(2, 1, 2, theta=theta)
+        assert fair_bcem_pro_pp(graph, params).as_set() == set(
+            reference_pssfbc(graph, params)
+        )
+
+    def test_without_theta_matches_plain_model(self):
+        graph = random_bipartite_graph(7, 7, 0.6, seed=67)
+        params = FairnessParams(2, 1, 1)
+        assert fair_bcem_pro_pp(graph, params).as_set() == fair_bcem_pp(graph, params).as_set()
+
+    def test_results_satisfy_ratio_constraint(self):
+        graph = random_bipartite_graph(8, 8, 0.6, seed=71)
+        params = FairnessParams(2, 1, 3, theta=0.4)
+        result = fair_bcem_pro_pp(graph, params)
+        for biclique in result.bicliques:
+            assert biclique_is_fair_lower(biclique, graph, params)
+
+    def test_theta_half_forces_perfect_balance(self):
+        edges = [(u, v) for u in (0, 1) for v in (0, 1, 2)]
+        graph = make_graph(edges, {0: "a", 1: "b"}, {0: "a", 1: "a", 2: "b"})
+        params = FairnessParams(2, 1, 5, theta=0.5)
+        result = fair_bcem_pro_pp(graph, params)
+        for biclique in result.bicliques:
+            values = [graph.lower_attribute(v) for v in biclique.lower]
+            assert values.count("a") == values.count("b")
+
+    def test_alpha_must_be_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            fair_bcem_pro_pp(tiny_graph, FairnessParams(0, 1, 1, 0.4))
+
+
+class TestPBSFBC:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference(self, seed):
+        graph = random_bipartite_graph(5, 5, 0.7, seed=seed)
+        params = FairnessParams(1, 1, 2, theta=0.4)
+        assert bfair_bcem_pro_pp(graph, params).as_set() == set(
+            reference_pbsfbc(graph, params)
+        )
+
+    @pytest.mark.parametrize("theta", [0.3, 0.5])
+    def test_theta_grid(self, theta):
+        graph = random_bipartite_graph(6, 6, 0.7, seed=73)
+        params = FairnessParams(1, 1, 2, theta=theta)
+        assert bfair_bcem_pro_pp(graph, params).as_set() == set(
+            reference_pbsfbc(graph, params)
+        )
+
+    def test_without_theta_matches_plain_model(self):
+        graph = random_bipartite_graph(6, 6, 0.7, seed=79)
+        params = FairnessParams(1, 1, 1)
+        assert (
+            bfair_bcem_pro_pp(graph, params).as_set()
+            == bfair_bcem_pp(graph, params).as_set()
+        )
+
+    def test_stats_algorithm_name(self, tiny_graph):
+        result = bfair_bcem_pro_pp(tiny_graph, FairnessParams(1, 1, 1, 0.4))
+        assert result.stats.algorithm == "BFairBCEMPro++"
+
+
+class TestMonotonicity:
+    def test_larger_theta_never_increases_the_feasible_side_imbalance(self):
+        """Raising theta only tightens the constraint set of each biclique."""
+        graph = random_bipartite_graph(8, 8, 0.6, seed=83)
+        loose = fair_bcem_pro_pp(graph, FairnessParams(2, 1, 3, theta=0.3))
+        tight = fair_bcem_pro_pp(graph, FairnessParams(2, 1, 3, theta=0.5))
+        # every tight result is proportionally fair under the loose threshold
+        params_loose = FairnessParams(2, 1, 3, theta=0.3)
+        for biclique in tight.bicliques:
+            assert biclique_is_fair_lower(biclique, graph, params_loose)

@@ -1,0 +1,83 @@
+"""Property-based tests: pruning never removes a vertex of any result.
+
+Lemmas 1-3 of the paper guarantee that the cores contain every fair
+biclique; these tests check that guarantee end-to-end on random graphs by
+comparing against the brute-force reference enumerators.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration.reference import reference_bsfbc, reference_ssfbc
+from repro.core.models import FairnessParams
+from repro.core.pruning.cfcore import bi_colorful_fair_core, colorful_fair_core
+from repro.core.pruning.fcore import bi_fair_core, fair_core
+from repro.graph.generators import random_bipartite_graph
+
+
+@st.composite
+def small_graph_and_params(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_upper = draw(st.integers(2, 6))
+    num_lower = draw(st.integers(2, 6))
+    probability = draw(st.sampled_from([0.3, 0.5, 0.7, 0.9]))
+    alpha = draw(st.integers(1, 2))
+    beta = draw(st.integers(1, 2))
+    delta = draw(st.integers(0, 2))
+    graph = random_bipartite_graph(num_upper, num_lower, probability, seed=seed)
+    return graph, FairnessParams(alpha, beta, delta)
+
+
+@given(small_graph_and_params())
+@settings(max_examples=60, deadline=None)
+def test_fair_core_contains_every_ssfbc(case):
+    graph, params = case
+    upper_keep, lower_keep = fair_core(graph, params.alpha, params.beta)
+    for biclique in reference_ssfbc(graph, params):
+        assert biclique.upper <= upper_keep
+        assert biclique.lower <= lower_keep
+
+
+@given(small_graph_and_params())
+@settings(max_examples=40, deadline=None)
+def test_colorful_fair_core_contains_every_ssfbc(case):
+    graph, params = case
+    pruned = colorful_fair_core(graph, params.alpha, params.beta).graph
+    for biclique in reference_ssfbc(graph, params):
+        assert biclique.upper <= set(pruned.upper_vertices())
+        assert biclique.lower <= set(pruned.lower_vertices())
+
+
+@given(small_graph_and_params())
+@settings(max_examples=60, deadline=None)
+def test_bi_fair_core_contains_every_bsfbc(case):
+    graph, params = case
+    upper_keep, lower_keep = bi_fair_core(graph, params.alpha, params.beta)
+    for biclique in reference_bsfbc(graph, params):
+        assert biclique.upper <= upper_keep
+        assert biclique.lower <= lower_keep
+
+
+@given(small_graph_and_params())
+@settings(max_examples=40, deadline=None)
+def test_bi_colorful_fair_core_contains_every_bsfbc(case):
+    graph, params = case
+    pruned = bi_colorful_fair_core(graph, params.alpha, params.beta).graph
+    for biclique in reference_bsfbc(graph, params):
+        assert biclique.upper <= set(pruned.upper_vertices())
+        assert biclique.lower <= set(pruned.lower_vertices())
+
+
+def test_pruning_preserves_results_on_medium_graphs():
+    """Deterministic medium-size spot check (not hypothesis-driven)."""
+    rng = random.Random(0)
+    for _ in range(5):
+        seed = rng.randint(0, 10_000)
+        graph = random_bipartite_graph(12, 12, 0.4, seed=seed)
+        params = FairnessParams(2, 1, 1)
+        pruned = colorful_fair_core(graph, params.alpha, params.beta).graph
+        for biclique in reference_ssfbc(graph, params):
+            assert biclique.upper <= set(pruned.upper_vertices())
+            assert biclique.lower <= set(pruned.lower_vertices())

@@ -1,0 +1,123 @@
+"""Unit tests of the collaborative-filtering substrate (Jobs / Movies case studies)."""
+
+import pytest
+
+from repro.datasets.recommend import (
+    CollaborativeFilteringRecommender,
+    RatingData,
+    attribute_share,
+    build_recommendation_graph,
+    synthetic_job_ratings,
+    synthetic_movie_ratings,
+)
+
+
+@pytest.fixture
+def tiny_ratings():
+    ratings = {
+        (0, 0): 1.0,
+        (0, 1): 1.0,
+        (1, 0): 1.0,
+        (1, 2): 1.0,
+        (2, 1): 1.0,
+        (2, 2): 1.0,
+    }
+    return RatingData(
+        ratings=ratings,
+        user_attributes={0: "A", 1: "A", 2: "F"},
+        item_attributes={0: "P", 1: "P", 2: "U", 3: "U"},
+    )
+
+
+class TestRecommender:
+    def test_item_similarity_range_and_symmetry(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        sim = recommender.item_similarity(0, 1)
+        assert 0.0 <= sim <= 1.0
+        assert sim == recommender.item_similarity(1, 0)
+        assert recommender.item_similarity(0, 0) == 1.0
+
+    def test_similarity_zero_for_disjoint_items(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        # item 3 has no interactions at all
+        assert recommender.item_similarity(0, 3) == 0.0
+
+    def test_score_unknown_user_is_zero(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        assert recommender.score(99, 0) == 0.0
+
+    def test_recommend_excludes_seen_items(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        recommended = [item for item, _ in recommender.recommend(0, top_k=4)]
+        assert 0 not in recommended and 1 not in recommended
+
+    def test_recommend_respects_top_k(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        assert len(recommender.recommend(0, top_k=1)) == 1
+
+    def test_recommendation_edges_cover_all_users(self, tiny_ratings):
+        recommender = CollaborativeFilteringRecommender(tiny_ratings)
+        edges = recommender.recommendation_edges(top_k=1)
+        assert {user for user, _item in edges} == {0, 1, 2}
+
+
+class TestRecommendationGraph:
+    def test_graph_shape_and_attributes(self, tiny_ratings):
+        graph = build_recommendation_graph(tiny_ratings, top_k=2)
+        assert set(graph.upper_vertices()) == {0, 1, 2}
+        for v in graph.lower_vertices():
+            assert graph.lower_attribute(v) in {"P", "U"}
+        for u in graph.upper_vertices():
+            assert graph.degree_upper(u) <= 2
+
+    def test_attribute_share_helper(self, tiny_ratings):
+        graph = build_recommendation_graph(tiny_ratings, top_k=2)
+        share = attribute_share(graph, graph.lower_vertices(), "P")
+        assert 0.0 <= share <= 1.0
+        assert attribute_share(graph, [], "P") == 0.0
+
+
+class TestSyntheticRatings:
+    def test_job_ratings_schema(self):
+        data = synthetic_job_ratings(num_users=40, num_jobs=20, seed=1)
+        assert set(data.user_attributes.values()) <= {"A", "F"}
+        assert set(data.item_attributes.values()) == {"P", "U"}
+        assert len(data.users) == 40
+        assert len(data.items) == 20
+        assert data.ratings
+
+    def test_job_ratings_deterministic(self):
+        assert synthetic_job_ratings(seed=3).ratings == synthetic_job_ratings(seed=3).ratings
+
+    def test_movie_ratings_schema(self):
+        data = synthetic_movie_ratings(num_users=30, num_movies=24, seed=2)
+        assert set(data.item_attributes.values()) == {"O", "N"}
+        assert len(data.items) == 24
+
+    def test_popularity_bias_is_planted(self):
+        """Popular (old) items receive more interactions than unpopular ones."""
+        data = synthetic_movie_ratings(num_users=80, num_movies=40, seed=5)
+        old_cutoff = 20
+        old_interactions = sum(1 for (_u, m) in data.ratings if m < old_cutoff)
+        new_interactions = sum(1 for (_u, m) in data.ratings if m >= old_cutoff)
+        assert old_interactions > new_interactions
+
+    def test_items_of_user(self):
+        data = synthetic_job_ratings(num_users=10, num_jobs=10, seed=7)
+        user = data.users[0]
+        items = data.items_of_user(user)
+        assert all((user, item) in data.ratings for item in items)
+
+
+class TestEndToEndCaseStudyPipeline:
+    def test_fair_bicliques_exist_on_the_top_k_graph(self):
+        from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+        from repro.core.models import FairnessParams
+
+        data = synthetic_job_ratings(num_users=60, num_jobs=30, seed=0)
+        graph = build_recommendation_graph(data, top_k=10)
+        result = fair_bcem_pp(graph, FairnessParams(2, 2, 1))
+        assert len(result.bicliques) > 0
+        for biclique in result.bicliques:
+            values = [graph.lower_attribute(v) for v in biclique.lower]
+            assert values.count("P") >= 2 and values.count("U") >= 2

@@ -1,0 +1,94 @@
+"""Unit tests of the brute-force reference enumerators themselves."""
+
+import pytest
+
+from repro.core.enumeration.reference import (
+    reference_bsfbc,
+    reference_maximal_bicliques,
+    reference_pbsfbc,
+    reference_pssfbc,
+    reference_ssfbc,
+)
+from repro.core.models import Biclique, FairnessParams
+from repro.graph.generators import random_bipartite_graph
+
+from conftest import make_graph
+
+
+def test_maximal_bicliques_of_a_complete_graph(tiny_graph):
+    assert reference_maximal_bicliques(tiny_graph) == [Biclique({0, 1}, {0, 1})]
+
+
+def test_maximal_bicliques_path():
+    graph = make_graph([(0, 0), (0, 1), (1, 1)], {0: "a", 1: "a"}, {0: "x", 1: "x"})
+    assert set(reference_maximal_bicliques(graph)) == {
+        Biclique({0}, {0, 1}),
+        Biclique({0, 1}, {1}),
+    }
+
+
+def test_maximal_bicliques_have_nonempty_sides():
+    graph = random_bipartite_graph(5, 5, 0.4, seed=1)
+    for biclique in reference_maximal_bicliques(graph):
+        assert biclique.num_upper >= 1 and biclique.num_lower >= 1
+
+
+def test_maximal_biclique_filters():
+    graph = random_bipartite_graph(5, 5, 0.6, seed=2)
+    unfiltered = reference_maximal_bicliques(graph)
+    filtered = reference_maximal_bicliques(graph, min_upper_size=2, min_lower_size=2)
+    assert set(filtered) == {
+        b for b in unfiltered if b.num_upper >= 2 and b.num_lower >= 2
+    }
+
+
+def test_ssfbc_results_are_maximal(tiny_graph):
+    results = reference_ssfbc(tiny_graph, FairnessParams(1, 1, 0))
+    assert results == [Biclique({0, 1}, {0, 1})]
+
+
+def test_ssfbc_no_fair_subgraph(tiny_graph):
+    assert reference_ssfbc(tiny_graph, FairnessParams(1, 2, 0)) == []
+
+
+def test_ssfbc_results_not_mutually_contained():
+    graph = random_bipartite_graph(6, 6, 0.6, seed=3)
+    results = reference_ssfbc(graph, FairnessParams(1, 1, 1))
+    for first in results:
+        for second in results:
+            if first != second:
+                assert not first.properly_contains(second)
+
+
+def test_bsfbc_subset_of_fair_ssfbc_pairs():
+    graph = random_bipartite_graph(5, 5, 0.7, seed=4)
+    params = FairnessParams(1, 1, 1)
+    bsfbc = reference_bsfbc(graph, params)
+    for biclique in bsfbc:
+        # bi-side results are bicliques with both sides non-empty
+        assert biclique.num_upper >= 1 and biclique.num_lower >= 1
+        assert biclique.is_biclique_of(graph)
+
+
+def test_proportional_references_tighten_the_plain_ones():
+    graph = random_bipartite_graph(6, 6, 0.7, seed=5)
+    plain = set(reference_ssfbc(graph, FairnessParams(1, 1, 2)))
+    proportional = set(reference_pssfbc(graph, FairnessParams(1, 1, 2, theta=0.5)))
+    # every proportional result satisfies the plain constraints (ratio only
+    # tightens), so it must be contained in some plain result
+    for biclique in proportional:
+        assert any(p.contains(biclique) for p in plain)
+
+
+def test_pbsfbc_runs(tiny_graph):
+    assert reference_pbsfbc(tiny_graph, FairnessParams(1, 1, 1, theta=0.5)) == [
+        Biclique({0, 1}, {0, 1})
+    ]
+
+
+def test_size_limit_enforced():
+    graph = random_bipartite_graph(20, 20, 0.2, seed=6)
+    with pytest.raises(ValueError):
+        reference_maximal_bicliques(graph)
+    with pytest.raises(ValueError):
+        reference_ssfbc(graph, FairnessParams(1, 1, 1))

@@ -1,0 +1,71 @@
+"""Unit tests of :class:`repro.graph.unipartite.AttributedGraph`."""
+
+import pytest
+
+from repro.graph.unipartite import AttributedGraph
+
+
+@pytest.fixture
+def triangle_plus_isolated():
+    return AttributedGraph.from_edges(
+        [(0, 1), (1, 2), (0, 2)],
+        attributes={0: "a", 1: "b", 2: "a", 3: "b"},
+        vertices=[0, 1, 2, 3],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.num_vertices == 4
+        assert triangle_plus_isolated.num_edges == 3
+
+    def test_symmetrisation(self):
+        graph = AttributedGraph({0: [1]}, {0: "a", 1: "b"})
+        assert graph.has_edge(1, 0)
+        assert graph.degree(1) == 1
+
+    def test_self_loops_are_dropped(self):
+        graph = AttributedGraph({0: [0, 1]}, {0: "a", 1: "b"})
+        assert not graph.has_edge(0, 0)
+        assert graph.num_edges == 1
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(ValueError):
+            AttributedGraph({0: [1]}, {0: "a"})
+
+    def test_edges_iterated_once(self, triangle_plus_isolated):
+        assert sorted(triangle_plus_isolated.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestAccessors:
+    def test_neighbors_and_degree(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.neighbors(0) == frozenset({1, 2})
+        assert triangle_plus_isolated.degree(3) == 0
+
+    def test_attributes(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.attribute(1) == "b"
+        assert triangle_plus_isolated.attribute_domain == ("a", "b")
+
+    def test_has_vertex_and_edge(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.has_vertex(3)
+        assert not triangle_plus_isolated.has_vertex(9)
+        assert triangle_plus_isolated.has_edge(0, 1)
+        assert not triangle_plus_isolated.has_edge(0, 3)
+        assert not triangle_plus_isolated.has_edge(9, 3)
+
+    def test_vertices_sorted(self, triangle_plus_isolated):
+        assert triangle_plus_isolated.vertices() == (0, 1, 2, 3)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, triangle_plus_isolated):
+        sub = triangle_plus_isolated.induced_subgraph([0, 1, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 1
+        assert sub.has_edge(0, 1)
+        assert not sub.has_vertex(2)
+
+    def test_induced_subgraph_ignores_unknown(self, triangle_plus_isolated):
+        sub = triangle_plus_isolated.induced_subgraph([0, 42])
+        assert sub.num_vertices == 1
+        assert sub.num_edges == 0
