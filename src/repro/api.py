@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.enumeration._common import DEFAULT_BACKEND, KNOWN_BACKENDS
 from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
 from repro.core.enumeration.fairbcem import fair_bcem
 from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
@@ -28,6 +29,10 @@ from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
 from repro.core.models import EnumerationResult, FairnessParams
 from repro.graph.bipartite import AttributedBipartiteGraph
+
+#: Adjacency backends accepted by every ``enumerate_*`` function
+#: (``"bitset"`` is the default, ``"frozenset"`` the reference path).
+BACKENDS = KNOWN_BACKENDS
 
 #: Algorithm registry for the single-side model.
 SSFBC_ALGORITHMS = {
@@ -50,11 +55,15 @@ def enumerate_ssfbc(
     algorithm: str = "fairbcem++",
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all single-side fair bicliques (SSFBC, Definition 3).
 
     ``algorithm`` is one of ``"fairbcem++"`` (default, fastest),
-    ``"fairbcem"`` or ``"nsf"``.
+    ``"fairbcem"`` or ``"nsf"``.  ``backend`` selects the adjacency
+    representation of the search: ``"bitset"`` (dense integer bitmasks, the
+    default and fastest) or ``"frozenset"`` (the pure-set reference path);
+    both return the identical biclique set.
     """
     try:
         function = SSFBC_ALGORITHMS[algorithm]
@@ -62,7 +71,7 @@ def enumerate_ssfbc(
         raise ValueError(
             f"unknown SSFBC algorithm {algorithm!r}; expected one of {sorted(SSFBC_ALGORITHMS)}"
         ) from None
-    return function(graph, params, ordering=ordering, pruning=pruning)
+    return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
 def enumerate_bsfbc(
@@ -71,6 +80,7 @@ def enumerate_bsfbc(
     algorithm: str = "bfairbcem++",
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all bi-side fair bicliques (BSFBC, Definition 4)."""
     try:
@@ -79,7 +89,7 @@ def enumerate_bsfbc(
         raise ValueError(
             f"unknown BSFBC algorithm {algorithm!r}; expected one of {sorted(BSFBC_ALGORITHMS)}"
         ) from None
-    return function(graph, params, ordering=ordering, pruning=pruning)
+    return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
 def enumerate_pssfbc(
@@ -88,6 +98,7 @@ def enumerate_pssfbc(
     theta: Optional[float] = None,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all proportion single-side fair bicliques (PSSFBC).
 
@@ -95,7 +106,7 @@ def enumerate_pssfbc(
     """
     if theta is not None:
         params = params.with_theta(theta)
-    return fair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning)
+    return fair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
 def enumerate_pbsfbc(
@@ -104,8 +115,9 @@ def enumerate_pbsfbc(
     theta: Optional[float] = None,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
     if theta is not None:
         params = params.with_theta(theta)
-    return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning)
+    return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.analysis.reporting import format_table
-from repro.api import BSFBC_ALGORITHMS, SSFBC_ALGORITHMS
+from repro.api import BACKENDS, DEFAULT_BACKEND, BSFBC_ALGORITHMS, SSFBC_ALGORITHMS
 from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
 from repro.core.models import FairnessParams
 from repro.core.pruning.cfcore import (
@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--pruning", choices=["colorful", "core", "none"], default="colorful"
     )
     enum_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=DEFAULT_BACKEND,
+        help="adjacency representation of the search (bitset: dense integer "
+        "bitmasks, the default; frozenset: the pure-set reference path)",
+    )
+    enum_parser.add_argument(
         "--count-only", action="store_true", help="print only the number of results"
     )
     enum_parser.add_argument(
@@ -133,15 +140,23 @@ def _run_enumerate(args: argparse.Namespace) -> int:
     if model == "ssfbc":
         algorithm = args.algorithm or "fairbcem++"
         function = SSFBC_ALGORITHMS[algorithm]
-        result = function(graph, params, ordering=args.ordering, pruning=args.pruning)
+        result = function(
+            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        )
     elif model == "bsfbc":
         algorithm = args.algorithm or "bfairbcem++"
         function = BSFBC_ALGORITHMS[algorithm]
-        result = function(graph, params, ordering=args.ordering, pruning=args.pruning)
+        result = function(
+            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        )
     elif model == "pssfbc":
-        result = fair_bcem_pro_pp(graph, params, ordering=args.ordering, pruning=args.pruning)
+        result = fair_bcem_pro_pp(
+            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        )
     else:
-        result = bfair_bcem_pro_pp(graph, params, ordering=args.ordering, pruning=args.pruning)
+        result = bfair_bcem_pro_pp(
+            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        )
 
     stats = result.stats
     print(

@@ -1,15 +1,204 @@
-"""Shared helpers of the enumeration algorithms."""
+"""Shared helpers of the enumeration algorithms.
+
+Besides the small bookkeeping utilities (stats, timers, recursion limits),
+this module provides the **search substrate** every branch-and-bound
+enumerator runs on: :class:`AdjacencyView`, a backend-agnostic bundle of
+lower-side candidate handles, their upper-side neighbourhoods and the set
+algebra over them.  Two backends exist:
+
+``"bitset"`` (the default)
+    Adjacency rows are Python-int bitmasks over dense indices
+    (:class:`~repro.graph.bitset.BitsetGraph`); intersections and overlap
+    sizes are word-parallel ``&`` / popcount operations.
+
+``"frozenset"``
+    The original pure ``frozenset`` algebra on the graph's vertex ids,
+    kept as the easily-auditable reference path.
+
+Both backends expose the same operations, produce results in the source
+graph's id space and visit candidates in the same order, so the
+enumeration algorithms are written once and return identical biclique
+sets under either backend.
+"""
 
 from __future__ import annotations
 
 import contextlib
 import sys
 import time
-from typing import Iterator
+from typing import Callable, FrozenSet, Iterable, Iterator, List
 
+from repro.core.enumeration.ordering import _order
 from repro.core.models import EnumerationStats
 from repro.core.pruning.cfcore import PruningResult
+from repro.graph.bitset import BitsetGraph, popcount
 from repro.graph.bipartite import AttributedBipartiteGraph
+
+BITSET_BACKEND = "bitset"
+FROZENSET_BACKEND = "frozenset"
+KNOWN_BACKENDS = (BITSET_BACKEND, FROZENSET_BACKEND)
+DEFAULT_BACKEND = BITSET_BACKEND
+
+
+class AdjacencyView:
+    """Backend-agnostic adjacency substrate of the enumeration searches.
+
+    A view fixes an opaque *handle* type for lower-side vertices (vertex
+    ids for the frozenset backend, dense indices for the bitset backend)
+    and an opaque *upper-set* type (``frozenset`` of ids or an int
+    bitmask).  The searches only ever combine upper-sets with ``&``,
+    measure them with :attr:`set_size` and translate them to vertex ids
+    when emitting results, so the same algorithm code runs on both
+    representations.
+
+    Attributes
+    ----------
+    backend:
+        ``"bitset"`` or ``"frozenset"``.
+    handles:
+        Lower-side handles in ascending vertex-id order.
+    adj:
+        Indexable ``handle -> upper-set`` adjacency (``N(v)``).
+    full_upper:
+        Upper-set containing the whole upper side.
+    set_size:
+        ``upper-set -> int`` (``len`` or popcount).
+    attribute_of:
+        ``handle -> attribute value`` of the lower side.
+    degree_of:
+        ``handle -> degree`` of the lower side.
+    upper_ids / lower_ids:
+        Translate an upper-set / an iterable of handles to a frozenset of
+        source-graph vertex ids.
+    upper_set_of_ids:
+        Translate an iterable of upper vertex ids to an upper-set.
+    common_upper:
+        Iterable of lower vertex *ids* -> upper-set of their common
+        neighbourhood (full upper side for empty input).
+    common_lower_ids:
+        Iterable of upper vertex ids -> frozenset of common lower
+        neighbour ids (full lower side for empty input).
+    bitset:
+        The underlying :class:`~repro.graph.bitset.BitsetGraph` of the
+        bitset backend (``None`` for the frozenset backend); specialised
+        search kernels reach through it for the raw rows and masks.
+    """
+
+    __slots__ = (
+        "backend",
+        "handles",
+        "adj",
+        "full_upper",
+        "set_size",
+        "attribute_of",
+        "degree_of",
+        "upper_ids",
+        "lower_ids",
+        "upper_set_of_ids",
+        "common_upper",
+        "common_lower_ids",
+        "bitset",
+    )
+
+    def __init__(
+        self,
+        backend: str,
+        handles: List[int],
+        adj,
+        full_upper,
+        set_size: Callable[[object], int],
+        attribute_of: Callable[[int], object],
+        degree_of: Callable[[int], int],
+        upper_ids: Callable[[object], FrozenSet[int]],
+        lower_ids: Callable[[Iterable[int]], FrozenSet[int]],
+        upper_set_of_ids: Callable[[Iterable[int]], object],
+        common_upper: Callable[[Iterable[int]], object],
+        common_lower_ids: Callable[[Iterable[int]], FrozenSet[int]],
+        bitset: "BitsetGraph | None" = None,
+    ):
+        self.backend = backend
+        self.handles = handles
+        self.adj = adj
+        self.full_upper = full_upper
+        self.set_size = set_size
+        self.attribute_of = attribute_of
+        self.degree_of = degree_of
+        self.upper_ids = upper_ids
+        self.lower_ids = lower_ids
+        self.upper_set_of_ids = upper_set_of_ids
+        self.common_upper = common_upper
+        self.common_lower_ids = common_lower_ids
+        self.bitset = bitset
+
+    def ordered_handles(self, ordering: str) -> List[int]:
+        """Candidate handles under ``ordering`` (``DegOrd`` / ``IDOrd``).
+
+        Handles ascend with vertex ids in both backends, so the degree
+        tie-break (and therefore the expansion order of the searches) is
+        identical to ordering the vertex ids directly.
+        """
+        return _order(self.handles, ordering, self.degree_of)
+
+
+def validate_backend(backend: str) -> None:
+    """Raise ``ValueError`` for an unknown adjacency backend name."""
+    if backend not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown adjacency backend {backend!r}; expected one of {KNOWN_BACKENDS}"
+        )
+
+
+def _make_frozenset_view(graph: AttributedBipartiteGraph) -> AdjacencyView:
+    handles = list(graph.lower_vertices())
+    adjacency = {v: graph.neighbors_of_lower(v) for v in handles}
+    return AdjacencyView(
+        backend=FROZENSET_BACKEND,
+        handles=handles,
+        adj=adjacency,
+        full_upper=frozenset(graph.upper_vertices()),
+        set_size=len,
+        attribute_of=graph.lower_attribute,
+        degree_of=graph.degree_lower,
+        upper_ids=frozenset,
+        lower_ids=frozenset,
+        upper_set_of_ids=frozenset,
+        common_upper=graph.common_upper_neighbors,
+        common_lower_ids=graph.common_lower_neighbors,
+    )
+
+
+def _make_bitset_view(graph: AttributedBipartiteGraph) -> AdjacencyView:
+    bitset = BitsetGraph(graph)
+    degrees = bitset.lower_degrees()
+    return AdjacencyView(
+        backend=BITSET_BACKEND,
+        handles=list(range(len(bitset.lower_ids))),
+        adj=bitset.lower_rows,
+        full_upper=bitset.full_upper_mask,
+        set_size=popcount,
+        attribute_of=bitset.lower_attributes.__getitem__,
+        degree_of=degrees.__getitem__,
+        upper_ids=bitset.upper_ids_of_mask,
+        lower_ids=lambda handles, ids=bitset.lower_ids: frozenset(
+            ids[h] for h in handles
+        ),
+        upper_set_of_ids=bitset.upper_mask_of_ids,
+        common_upper=bitset.common_upper_mask,
+        common_lower_ids=lambda uppers, b=bitset: b.lower_ids_of_mask(
+            b.common_lower_mask(uppers)
+        ),
+        bitset=bitset,
+    )
+
+
+def make_adjacency_view(
+    graph: AttributedBipartiteGraph, backend: str = DEFAULT_BACKEND
+) -> AdjacencyView:
+    """Build the :class:`AdjacencyView` of ``graph`` for ``backend``."""
+    validate_backend(backend)
+    if backend == BITSET_BACKEND:
+        return _make_bitset_view(graph)
+    return _make_frozenset_view(graph)
 
 
 @contextlib.contextmanager

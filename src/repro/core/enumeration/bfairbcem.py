@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.enumeration._common import Timer, make_stats, validate_alpha
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    Timer,
+    make_adjacency_view,
+    make_stats,
+    validate_alpha,
+)
 from repro.core.enumeration.fairbcem import fair_bcem
 from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
 from repro.core.enumeration.ordering import DEGREE_ORDER
@@ -45,6 +51,7 @@ def _bi_side_enumerate(
     pruning: str,
     use_plus_plus: bool,
     search_pruning: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     validate_alpha(params.alpha)
     timer = Timer()
@@ -65,14 +72,27 @@ def _bi_side_enumerate(
     # Single-side candidates on the bi-side-pruned graph.  The inner call
     # re-applies the single-side pruning, which is lossless on any input.
     if use_plus_plus:
-        single_side = fair_bcem_pp(pruned, params, ordering=ordering, pruning=pruning)
+        single_side = fair_bcem_pp(
+            pruned, params, ordering=ordering, pruning=pruning, backend=backend
+        )
     else:
         single_side = fair_bcem(
-            pruned, params, ordering=ordering, pruning=pruning, search_pruning=search_pruning
+            pruned,
+            params,
+            ordering=ordering,
+            pruning=pruning,
+            search_pruning=search_pruning,
+            backend=backend,
         )
     stats.search_nodes += single_side.stats.search_nodes
     stats.maximal_bicliques_considered += single_side.stats.maximal_bicliques_considered
 
+    if not single_side.bicliques:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult(results, stats)
+
+    view = make_adjacency_view(pruned, backend)
+    common_lower_ids = view.common_lower_ids
     attribute_upper = pruned.upper_attribute
     attribute_lower = pruned.lower_attribute
     for candidate in single_side.bicliques:
@@ -84,7 +104,7 @@ def _bi_side_enumerate(
             upper_side, attribute_upper, upper_domain, alpha, delta
         ):
             stats.candidates_checked += 1
-            reachable_lower = pruned.common_lower_neighbors(fair_upper)
+            reachable_lower = common_lower_ids(fair_upper)
             if is_maximal_fair_subset(
                 lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta
             ):
@@ -100,6 +120,7 @@ def bfair_bcem(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     search_pruning: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all bi-side fair bicliques with ``BFairBCEM``.
 
@@ -108,7 +129,13 @@ def bfair_bcem(
     ``search_pruning=False`` yields the ``BNSF`` baseline.
     """
     return _bi_side_enumerate(
-        graph, params, ordering, pruning, use_plus_plus=False, search_pruning=search_pruning
+        graph,
+        params,
+        ordering,
+        pruning,
+        use_plus_plus=False,
+        search_pruning=search_pruning,
+        backend=backend,
     )
 
 
@@ -117,6 +144,9 @@ def bfair_bcem_pp(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all bi-side fair bicliques with ``BFairBCEM++``."""
-    return _bi_side_enumerate(graph, params, ordering, pruning, use_plus_plus=True)
+    return _bi_side_enumerate(
+        graph, params, ordering, pruning, use_plus_plus=True, backend=backend
+    )

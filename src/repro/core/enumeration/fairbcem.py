@@ -16,14 +16,27 @@ single-side fair biclique (Definition 3).
 
 Search-space pruning (Observations 2 and 5 of the paper) can be switched off
 to obtain the ``NSF`` baseline used in the paper's experiments.
+
+The inner loops run on an :class:`~repro.core.enumeration._common.AdjacencyView`,
+so the intersection-heavy bookkeeping executes on dense bitmasks by default
+(``backend="bitset"``) with the original frozenset algebra available as the
+reference path (``backend="frozenset"``); both backends visit candidates in
+the same order and return the identical biclique set.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, List
 
-from repro.core.enumeration._common import Timer, make_stats, recursion_limit, validate_alpha
-from repro.core.enumeration.ordering import DEGREE_ORDER, order_lower_vertices
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    Timer,
+    make_adjacency_view,
+    make_stats,
+    recursion_limit,
+    validate_alpha,
+)
+from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import is_fair_counts, is_maximal_fair_subset
 from repro.core.models import Biclique, EnumerationResult, FairnessParams
 from repro.core.pruning.cfcore import prune_for_model
@@ -36,6 +49,7 @@ def fair_bcem(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     search_pruning: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all single-side fair bicliques with ``FairBCEM``.
 
@@ -58,6 +72,9 @@ def fair_bcem(
         When False the branch-and-bound keeps only the bookkeeping needed
         for correctness and drops Observations 2 and 5, which yields the
         ``NSF`` baseline of the paper's experiments.
+    backend:
+        Adjacency representation of the search: ``"bitset"`` (default) or
+        ``"frozenset"``.
     """
     validate_alpha(params.alpha)
     timer = Timer()
@@ -69,36 +86,39 @@ def fair_bcem(
     stats = make_stats("FairBCEM" if search_pruning else "NSF", graph, prune_result)
 
     results: List[Biclique] = []
-    lower_vertices = list(pruned.lower_vertices())
-    if not lower_vertices or pruned.num_upper == 0:
+    if pruned.num_lower == 0 or pruned.num_upper == 0:
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
-    adjacency: Dict[int, FrozenSet[int]] = {
-        v: pruned.neighbors_of_lower(v) for v in lower_vertices
-    }
-    attribute_of = pruned.lower_attribute
+    view = make_adjacency_view(pruned, backend)
+    adjacency = view.adj
+    size = view.set_size
+    attribute_of = view.attribute_of
+    upper_ids = view.upper_ids
+    lower_ids = view.lower_ids
     candidate_keep_threshold = alpha if search_pruning else 1
 
     def backtrack(
-        L: FrozenSet[int],
-        R: FrozenSet[int],
+        L,
+        R: frozenset,
         counts: Dict,
         P: List[int],
         Q: List[int],
     ) -> None:
         stats.search_nodes += 1
-        P = list(P)
         Q = list(Q)
-        while P:
-            x = P.pop(0)
+        cursor, total = 0, len(P)
+        while cursor < total:
+            x = P[cursor]
+            cursor += 1
             L_new = L & adjacency[x]
+            L_new_size = size(L_new)
             R_new = R | {x}
             counts_new = dict(counts)
             counts_new[attribute_of(x)] = counts_new.get(attribute_of(x), 0) + 1
 
             feasible = True
-            if search_pruning and len(L_new) < alpha:
+            if search_pruning and L_new_size < alpha:
                 # Observation 5: the upper side can only shrink further.
                 feasible = False
 
@@ -106,8 +126,8 @@ def fair_bcem(
             Q_new: List[int] = []
             if feasible:
                 for q in Q:
-                    overlap = len(adjacency[q] & L_new)
-                    if L_new and overlap == len(L_new):
+                    overlap = size(adjacency[q] & L_new)
+                    if L_new and overlap == L_new_size:
                         fully_connected_excluded.append(q)
                     if overlap >= candidate_keep_threshold:
                         Q_new.append(q)
@@ -122,14 +142,15 @@ def fair_bcem(
             if feasible:
                 fully_connected_candidates: List[int] = []
                 P_new: List[int] = []
-                for v in P:
-                    overlap = len(adjacency[v] & L_new)
-                    if L_new and overlap == len(L_new):
+                for index in range(cursor, total):
+                    v = P[index]
+                    overlap = size(adjacency[v] & L_new)
+                    if L_new and overlap == L_new_size:
                         fully_connected_candidates.append(v)
                     if overlap >= candidate_keep_threshold:
                         P_new.append(v)
 
-                if len(L_new) >= alpha and is_fair_counts(counts_new, domain, beta, delta):
+                if L_new_size >= alpha and is_fair_counts(counts_new, domain, beta, delta):
                     stats.candidates_checked += 1
                     extension_pool = (
                         set(R_new)
@@ -139,11 +160,11 @@ def fair_bcem(
                     if is_maximal_fair_subset(
                         R_new, extension_pool, attribute_of, domain, beta, delta
                     ):
-                        results.append(Biclique(frozenset(L_new), frozenset(R_new)))
+                        results.append(Biclique(upper_ids(L_new), lower_ids(R_new)))
 
-                recurse = bool(P_new) and len(L_new) >= 1
+                recurse = bool(P_new) and L_new_size >= 1
                 if search_pruning and recurse:
-                    if len(L_new) < alpha:
+                    if L_new_size < alpha:
                         recurse = False
                     else:
                         available = dict(counts_new)
@@ -153,15 +174,14 @@ def fair_bcem(
                         if any(available.get(a, 0) < beta for a in domain):
                             recurse = False
                 if recurse:
-                    backtrack(frozenset(L_new), R_new, counts_new, P_new, Q_new)
+                    backtrack(L_new, R_new, counts_new, P_new, Q_new)
 
             Q.append(x)
 
-    initial_candidates = order_lower_vertices(pruned, lower_vertices, ordering)
-    initial_upper = frozenset(pruned.upper_vertices())
+    initial_candidates = view.ordered_handles(ordering)
     initial_counts = {a: 0 for a in domain}
-    with recursion_limit(len(lower_vertices) + 1000):
-        backtrack(initial_upper, frozenset(), initial_counts, initial_candidates, [])
+    with recursion_limit(len(view.handles) + 1000):
+        backtrack(view.full_upper, frozenset(), initial_counts, initial_candidates, [])
 
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)

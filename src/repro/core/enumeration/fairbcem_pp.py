@@ -23,7 +23,13 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.enumeration._common import Timer, make_stats, validate_alpha
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    Timer,
+    make_adjacency_view,
+    make_stats,
+    validate_alpha,
+)
 from repro.core.enumeration.mbea import enumerate_maximal_bicliques
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import (
@@ -41,6 +47,7 @@ def fair_bcem_pp(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all single-side fair bicliques with ``FairBCEM++``.
 
@@ -61,6 +68,7 @@ def fair_bcem_pp(
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
+    view = make_adjacency_view(pruned, backend)
     maximal_bicliques = enumerate_maximal_bicliques(
         pruned,
         min_upper_size=alpha,
@@ -68,8 +76,11 @@ def fair_bcem_pp(
         lower_value_minimums={a: beta for a in domain},
         ordering=ordering,
         stats=stats,
+        view=view,
     )
     attribute_of = pruned.lower_attribute
+    common_upper = view.common_upper
+    upper_set_of_ids = view.upper_set_of_ids
 
     for candidate in maximal_bicliques:
         stats.maximal_bicliques_considered += 1
@@ -82,11 +93,12 @@ def fair_bcem_pp(
             # subset of itself, so (upper, closure) is a result.
             results.append(Biclique(upper, lower_closure))
             continue
+        upper_set = upper_set_of_ids(upper)
         for fair_subset in enumerate_maximal_fair_subsets(
             lower_closure, attribute_of, domain, beta, delta
         ):
             stats.candidates_checked += 1
-            if pruned.common_upper_neighbors(fair_subset) == upper:
+            if common_upper(fair_subset) == upper_set:
                 results.append(Biclique(upper, fair_subset))
 
     stats.elapsed_seconds = timer.elapsed()

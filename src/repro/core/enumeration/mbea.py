@@ -18,17 +18,152 @@ paper cites as the basis of its own Algorithm 6:
 Size and per-attribute-count thresholds are accepted as *search prunes*:
 they never change which of the reported bicliques are maximal, they only
 skip subtrees that cannot produce a biclique satisfying the thresholds.
+
+The search runs on an :class:`~repro.core.enumeration._common.AdjacencyView`
+(dense bitmasks by default, frozensets as the reference path); results are
+translated back to the graph's vertex ids when reported.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
-from repro.core.enumeration._common import Timer, recursion_limit
-from repro.core.enumeration.ordering import DEGREE_ORDER, order_lower_vertices
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    AdjacencyView,
+    Timer,
+    make_adjacency_view,
+    recursion_limit,
+)
+from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.models import Biclique, EnumerationStats
 from repro.graph.attributes import AttributeValue
 from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.bitset import BitsetGraph, iter_set_bits, popcount
+
+
+def _bitset_search(
+    bitset: BitsetGraph,
+    min_upper_size: int,
+    min_lower_size: int,
+    value_minimums: Dict[AttributeValue, int],
+    initial_candidates: List[int],
+    stats: EnumerationStats,
+    results: List[Biclique],
+) -> None:
+    """Bitmask kernel of the MBEA search.
+
+    Functionally identical to the generic search below, but keeps every
+    vertex pool as a bitmask and exploits the transpose adjacency:
+
+    * the lower side is *re-indexed in candidate order*, so iterating the
+      set bits of the candidate mask ``P`` from least to most significant
+      visits candidates exactly in the configured ordering;
+    * instead of measuring every candidate / excluded vertex against
+      ``L'`` one by one, the kernel AND/ORs the upper rows over the
+      members of ``L'`` to obtain in one sweep ``closed`` (lower vertices
+      adjacent to **all** of ``L'`` -- which is exactly the new ``R'``;
+      the maximality test is ``closed & Q == 0``, the iMBEA fold is
+      ``closed & P``) and ``touched`` (lower vertices adjacent to
+      **some** of ``L'`` -- the overlap > 0 test), making the candidate /
+      excluded pool updates single wide mask operations;
+    * per-attribute counts are popcounts against precomputed value masks.
+    """
+    order = initial_candidates
+    # Lower side re-indexed in candidate order: position k of the new index
+    # space is the k-th candidate.  Rows over the upper side just need to be
+    # picked in candidate order; rows over the lower side are rebuilt.
+    rows_lower = [bitset.lower_rows[h] for h in order]
+    rows_upper = [0] * len(bitset.upper_ids)
+    for k, row in enumerate(rows_lower):
+        k_bit = 1 << k
+        for i in iter_set_bits(row):
+            rows_upper[i] |= k_bit
+    attribute_masks: Dict[AttributeValue, int] = {}
+    for k, h in enumerate(order):
+        value = bitset.lower_attributes[h]
+        attribute_masks[value] = attribute_masks.get(value, 0) | (1 << k)
+    minimums = [(attribute_masks.get(a, 0), need) for a, need in value_minimums.items()]
+    ordered_ids = [bitset.lower_ids[h] for h in order]
+    upper_ids_of = bitset.upper_ids_of_mask
+
+    def lower_ids_of(mask: int):
+        return frozenset(ordered_ids[k] for k in iter_set_bits(mask))
+
+    def search(L: int, P: int, Q: int) -> None:
+        stats.search_nodes += 1
+        todo = P
+        while todo:
+            x_bit = todo & -todo
+            todo ^= x_bit
+            P ^= x_bit
+            L_new = L & rows_lower[x_bit.bit_length() - 1]
+            if popcount(L_new) < min_upper_size:
+                Q |= x_bit
+                continue
+
+            # One sweep over the upper rows of L_new replaces the per-vertex
+            # overlap loops of the generic search.
+            remaining = L_new
+            low = remaining & -remaining
+            closed = touched = rows_upper[low.bit_length() - 1]
+            remaining ^= low
+            while remaining:
+                low = remaining & -remaining
+                row = rows_upper[low.bit_length() - 1]
+                closed &= row
+                touched |= row
+                remaining ^= low
+
+            if Q & closed:
+                # Some excluded vertex is adjacent to the whole of L_new:
+                # nothing grown here can be maximal.
+                Q |= x_bit
+                continue
+
+            # closed is exactly R_new: the current R, x and every candidate
+            # fully connected to L_new (vertices dropped earlier have no
+            # neighbour in L_new and excluded ones were just ruled out).
+            R_new = closed
+            P_new = P & touched & ~closed
+            folded = P & closed
+            # Folded candidates whose neighbourhood inside L is contained in
+            # L_new are retired: they cannot seed new bicliques in sibling
+            # branches.
+            L_lost = L & ~L_new
+            if L_lost:
+                retire = 0
+                f = folded
+                while f:
+                    v_bit = f & -f
+                    f ^= v_bit
+                    if not rows_lower[v_bit.bit_length() - 1] & L_lost:
+                        retire |= v_bit
+            else:
+                retire = folded
+
+            R_new_size = popcount(R_new)
+            if R_new_size >= min_lower_size and all(
+                popcount(R_new & mask) >= need for mask, need in minimums
+            ):
+                results.append(Biclique(upper_ids_of(L_new), lower_ids_of(R_new)))
+            stats.maximal_bicliques_considered += 1
+
+            if P_new and R_new_size + popcount(P_new) >= min_lower_size:
+                feasible = True
+                if minimums:
+                    pool = R_new | P_new
+                    feasible = all(
+                        popcount(pool & mask) >= need for mask, need in minimums
+                    )
+                if feasible:
+                    search(L_new, P_new, Q & touched)
+
+            P &= ~retire
+            todo &= ~retire
+            Q |= x_bit | retire
+
+    search(bitset.full_upper_mask, (1 << len(order)) - 1, 0)
 
 
 def enumerate_maximal_bicliques(
@@ -38,6 +173,8 @@ def enumerate_maximal_bicliques(
     lower_value_minimums: Optional[Mapping[AttributeValue, int]] = None,
     ordering: str = DEGREE_ORDER,
     stats: Optional[EnumerationStats] = None,
+    backend: str = DEFAULT_BACKEND,
+    view: Optional[AdjacencyView] = None,
 ) -> List[Biclique]:
     """Enumerate maximal bicliques of ``graph``.
 
@@ -58,12 +195,18 @@ def enumerate_maximal_bicliques(
         Candidate selection ordering (``"degree"`` or ``"id"``).
     stats:
         Optional :class:`EnumerationStats` to accumulate search counters in.
+    backend:
+        Adjacency representation (``"bitset"`` or ``"frozenset"``).
+    view:
+        Optional pre-built :class:`AdjacencyView` of ``graph``; callers that
+        already hold one (the ``++`` algorithms) pass it in to avoid
+        building the adjacency twice.  Overrides ``backend``.
 
     Returns
     -------
     list[Biclique]
-        Each maximal biclique exactly once.  Both sides are always
-        non-empty.
+        Each maximal biclique exactly once, in the graph's vertex id space.
+        Both sides are always non-empty.
     """
     if min_upper_size < 1 or min_lower_size < 1:
         raise ValueError("size thresholds must be at least 1")
@@ -71,11 +214,13 @@ def enumerate_maximal_bicliques(
     timer = Timer()
     value_minimums: Dict[AttributeValue, int] = dict(lower_value_minimums or {})
 
-    lower_vertices = list(graph.lower_vertices())
-    adjacency: Dict[int, FrozenSet[int]] = {
-        v: graph.neighbors_of_lower(v) for v in lower_vertices
-    }
-    attribute_of = graph.lower_attribute
+    if view is None:
+        view = make_adjacency_view(graph, backend)
+    adjacency = view.adj
+    size = view.set_size
+    attribute_of = view.attribute_of
+    upper_ids = view.upper_ids
+    lower_ids = view.lower_ids
     results: List[Biclique] = []
 
     def value_counts(vertices) -> Dict[AttributeValue, int]:
@@ -94,23 +239,28 @@ def enumerate_maximal_bicliques(
             available[value] = available.get(value, 0) + 1
         return all(available.get(a, 0) >= need for a, need in value_minimums.items())
 
-    def report(uppers: FrozenSet[int], lowers: FrozenSet[int]) -> None:
-        if len(uppers) < min_upper_size or len(lowers) < min_lower_size:
+    def report(uppers, lowers) -> None:
+        if size(uppers) < min_upper_size or len(lowers) < min_lower_size:
             return
         if value_minimums:
             counts = value_counts(lowers)
             if any(counts.get(a, 0) < need for a, need in value_minimums.items()):
                 return
-        results.append(Biclique(uppers, lowers))
+        results.append(Biclique(upper_ids(uppers), lower_ids(lowers)))
 
-    def search(L: FrozenSet[int], R: FrozenSet[int], P: List[int], Q: List[int]) -> None:
+    def search(L, R: frozenset, P: List[int], Q: List[int]) -> None:
         stats.search_nodes += 1
-        P = list(P)
         Q = list(Q)
-        while P:
-            x = P.pop(0)
+        retired = set()
+        cursor, total = 0, len(P)
+        while cursor < total:
+            x = P[cursor]
+            cursor += 1
+            if x in retired:
+                continue
             L_new = L & adjacency[x]
-            if len(L_new) < min_upper_size:
+            L_new_size = size(L_new)
+            if L_new_size < min_upper_size:
                 Q.append(x)
                 continue
             R_new = set(R)
@@ -119,8 +269,8 @@ def enumerate_maximal_bicliques(
             is_maximal = True
             Q_new: List[int] = []
             for q in Q:
-                overlap = len(adjacency[q] & L_new)
-                if overlap == len(L_new):
+                overlap = size(adjacency[q] & L_new)
+                if overlap == L_new_size:
                     is_maximal = False
                     break
                 if overlap > 0:
@@ -131,19 +281,22 @@ def enumerate_maximal_bicliques(
 
             P_new: List[int] = []
             retire: List[int] = [x]
-            for v in P:
-                overlap = adjacency[v] & L_new
-                if len(overlap) == len(L_new):
+            for index in range(cursor, total):
+                v = P[index]
+                if v in retired:
+                    continue
+                overlap = size(adjacency[v] & L_new)
+                if overlap == L_new_size:
                     R_new.add(v)
                     # v's neighbourhood inside L is contained in L_new: every
                     # maximal biclique involving v under this L also contains
                     # x, so v cannot seed a new biclique in sibling branches.
-                    if len(adjacency[v] & L) == len(overlap):
+                    if size(adjacency[v] & L) == overlap:
                         retire.append(v)
                 elif overlap:
                     P_new.append(v)
 
-            report(L_new, frozenset(R_new))
+            report(L_new, R_new)
             stats.maximal_bicliques_considered += 1
 
             if (
@@ -154,15 +307,25 @@ def enumerate_maximal_bicliques(
                 search(L_new, frozenset(R_new), P_new, Q_new)
 
             for v in retire:
-                if v is not x and v in P:
-                    P.remove(v)
+                if v != x:
+                    retired.add(v)
                 Q.append(v)
 
-    initial_candidates = order_lower_vertices(graph, lower_vertices, ordering)
-    initial_upper = frozenset(graph.upper_vertices())
-    if initial_upper and initial_candidates:
-        with recursion_limit(len(lower_vertices) + 1000):
-            search(initial_upper, frozenset(), initial_candidates, [])
+    initial_candidates = view.ordered_handles(ordering)
+    if view.full_upper and initial_candidates:
+        with recursion_limit(len(view.handles) + 1000):
+            if view.bitset is not None:
+                _bitset_search(
+                    view.bitset,
+                    min_upper_size,
+                    min_lower_size,
+                    value_minimums,
+                    initial_candidates,
+                    stats,
+                    results,
+                )
+            else:
+                search(view.full_upper, frozenset(), initial_candidates, [])
 
     stats.elapsed_seconds += timer.elapsed()
     return results

@@ -9,6 +9,7 @@ algorithms and exist only so the benchmark harness can reproduce the
 
 from __future__ import annotations
 
+from repro.core.enumeration._common import DEFAULT_BACKEND
 from repro.core.enumeration.bfairbcem import bfair_bcem
 from repro.core.enumeration.fairbcem import fair_bcem
 from repro.core.enumeration.ordering import DEGREE_ORDER
@@ -21,10 +22,16 @@ def nsf(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Naive single-side fair biclique enumeration (``NSF``)."""
     result = fair_bcem(
-        graph, params, ordering=ordering, pruning=pruning, search_pruning=False
+        graph,
+        params,
+        ordering=ordering,
+        pruning=pruning,
+        search_pruning=False,
+        backend=backend,
     )
     result.stats.algorithm = "NSF"
     return result
@@ -35,10 +42,16 @@ def bnsf(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Naive bi-side fair biclique enumeration (``BNSF``)."""
     result = bfair_bcem(
-        graph, params, ordering=ordering, pruning=pruning, search_pruning=False
+        graph,
+        params,
+        ordering=ordering,
+        pruning=pruning,
+        search_pruning=False,
+        backend=backend,
     )
     result.stats.algorithm = "BNSF"
     return result

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.core.enumeration._common import Timer, make_stats, validate_alpha
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    Timer,
+    make_adjacency_view,
+    make_stats,
+    validate_alpha,
+)
 from repro.core.enumeration.mbea import enumerate_maximal_bicliques
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import (
@@ -39,6 +45,7 @@ def fair_bcem_pro_pp(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all proportion single-side fair bicliques (PSSFBC).
 
@@ -59,6 +66,7 @@ def fair_bcem_pro_pp(
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
+    view = make_adjacency_view(pruned, backend)
     maximal_bicliques = enumerate_maximal_bicliques(
         pruned,
         min_upper_size=alpha,
@@ -66,8 +74,11 @@ def fair_bcem_pro_pp(
         lower_value_minimums={a: beta for a in domain},
         ordering=ordering,
         stats=stats,
+        view=view,
     )
     attribute_of = pruned.lower_attribute
+    common_upper = view.common_upper
+    upper_set_of_ids = view.upper_set_of_ids
 
     for candidate in maximal_bicliques:
         stats.maximal_bicliques_considered += 1
@@ -78,11 +89,12 @@ def fair_bcem_pro_pp(
         if is_proportion_fair_counts(closure_counts, domain, beta, delta, theta):
             results.append(Biclique(upper, closure))
             continue
+        upper_set = upper_set_of_ids(upper)
         for fair_subset in enumerate_maximal_proportion_fair_subsets(
             closure, attribute_of, domain, beta, delta, theta
         ):
             stats.candidates_checked += 1
-            if pruned.common_upper_neighbors(fair_subset) == upper:
+            if common_upper(fair_subset) == upper_set:
                 results.append(Biclique(upper, fair_subset))
 
     stats.elapsed_seconds = timer.elapsed()
@@ -94,6 +106,7 @@ def bfair_bcem_pro_pp(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
 ) -> EnumerationResult:
     """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
     validate_alpha(params.alpha)
@@ -111,10 +124,18 @@ def bfair_bcem_pro_pp(
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
-    single_side = fair_bcem_pro_pp(pruned, params, ordering=ordering, pruning=pruning)
+    single_side = fair_bcem_pro_pp(
+        pruned, params, ordering=ordering, pruning=pruning, backend=backend
+    )
     stats.search_nodes += single_side.stats.search_nodes
     stats.maximal_bicliques_considered += single_side.stats.maximal_bicliques_considered
 
+    if not single_side.bicliques:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult(results, stats)
+
+    view = make_adjacency_view(pruned, backend)
+    common_lower_ids = view.common_lower_ids
     attribute_upper = pruned.upper_attribute
     attribute_lower = pruned.lower_attribute
     for candidate in single_side.bicliques:
@@ -123,7 +144,7 @@ def bfair_bcem_pro_pp(
             upper_side, attribute_upper, upper_domain, alpha, delta, theta
         ):
             stats.candidates_checked += 1
-            reachable_lower = pruned.common_lower_neighbors(fair_upper)
+            reachable_lower = common_lower_ids(fair_upper)
             if is_maximal_proportion_fair_subset(
                 lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta, theta
             ):

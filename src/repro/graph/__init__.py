@@ -3,6 +3,8 @@
 This subpackage contains everything the enumeration algorithms stand on:
 
 * :mod:`repro.graph.bipartite` -- the attributed bipartite graph store.
+* :mod:`repro.graph.bitset` -- dense bitmask adjacency view used by the
+  enumeration algorithms' ``"bitset"`` backend.
 * :mod:`repro.graph.unipartite` -- attributed (one-mode) graphs used for the
   2-hop projection graphs of the colorful-core pruning.
 * :mod:`repro.graph.coloring` -- greedy degree-ordered graph coloring.
@@ -15,6 +17,7 @@ This subpackage contains everything the enumeration algorithms stand on:
 
 from repro.graph.attributes import AttributeTable, count_by_value
 from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
+from repro.graph.bitset import BitsetGraph
 from repro.graph.coloring import greedy_coloring
 from repro.graph.generators import (
     random_bipartite_graph,
@@ -33,6 +36,7 @@ __all__ = [
     "AttributedBipartiteGraph",
     "AttributedGraph",
     "BipartiteGraphError",
+    "BitsetGraph",
     "block_bipartite_graph",
     "build_bi_two_hop_graph",
     "build_two_hop_graph",

@@ -8,30 +8,65 @@ data:
 * ``<name>.edges`` -- one ``upper lower`` id pair per line, ``#`` comments
   and blank lines ignored.
 * ``<name>.upper_attrs`` / ``<name>.lower_attrs`` -- one ``id value`` pair
-  per line.
+  per line.  Everything after the first whitespace run belongs to the value,
+  so multi-word attribute values (``3 data science``) round-trip intact.
 
-A single-file JSON round-trip is also provided for convenience.
+The text format is **string-typed**: :func:`save_graph` writes every
+attribute value through ``str`` and :func:`load_graph` reads the values back
+as strings.  A graph with non-string attribute values (e.g. ints) therefore
+does not compare equal after a text round trip unless the caller passes a
+``value_parser`` (such as :func:`int_or_str`) to restore the original types.
+The JSON round trip (:func:`graph_to_json` / :func:`graph_from_json`)
+preserves JSON-representable value types natively.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.graph.attributes import AttributeValue
 from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
 
 PathLike = Union[str, Path]
+ValueParser = Callable[[str], AttributeValue]
 
 
-def _parse_pairs(path: PathLike) -> List[Tuple[str, str]]:
+def int_or_str(text: str) -> AttributeValue:
+    """Parse canonical integer strings back to ints, leave the rest alone.
+
+    The inverse of the ``str`` coercion :func:`save_graph` applies to
+    int-valued attribute tables; pass it as ``value_parser`` to
+    :func:`load_graph` / :func:`read_attribute_file` to make a text round
+    trip of an int-attributed graph the identity.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        return text
+    # Only canonical int renderings convert back ("+7", "1_0" and "007" are
+    # accepted by int() but were never produced by str), so parsing stays the
+    # exact inverse of the save-side coercion.
+    return value if str(value) == text else text
+
+
+def _parse_pairs(path: PathLike, join_trailing: bool = False) -> List[Tuple[str, str]]:
+    """Parse ``key value`` lines, skipping blanks and ``#`` / ``%`` comments.
+
+    With ``join_trailing`` the line is split only on the first whitespace
+    run, so values containing whitespace survive; otherwise the second
+    whitespace-separated field is taken (KONECT edge lists may carry extra
+    columns such as weights, which are ignored).
+    """
     pairs: List[Tuple[str, str]] = []
+    max_split = 1 if join_trailing else -1
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith("#") or line.startswith("%"):
                 continue
-            parts = line.split()
+            parts = line.split(None, max_split)
             if len(parts) < 2:
                 raise BipartiteGraphError(
                     f"{path}:{line_number}: expected two whitespace separated fields, got {line!r}"
@@ -45,9 +80,19 @@ def read_edge_list(path: PathLike) -> List[Tuple[int, int]]:
     return [(int(a), int(b)) for a, b in _parse_pairs(path)]
 
 
-def read_attribute_file(path: PathLike) -> Dict[int, str]:
-    """Read an ``id value`` attribute assignment file."""
-    return {int(a): b for a, b in _parse_pairs(path)}
+def read_attribute_file(
+    path: PathLike, value_parser: Optional[ValueParser] = None
+) -> Dict[int, AttributeValue]:
+    """Read an ``id value`` attribute assignment file.
+
+    Values keep everything after the first whitespace run, so multi-word
+    values load intact.  They are returned as strings unless a
+    ``value_parser`` (e.g. :func:`int_or_str`) is given.
+    """
+    pairs = _parse_pairs(path, join_trailing=True)
+    if value_parser is None:
+        return {int(a): b for a, b in pairs}
+    return {int(a): value_parser(b) for a, b in pairs}
 
 
 def write_edge_list(path: PathLike, edges: Iterable[Tuple[int, int]]) -> None:
@@ -57,8 +102,12 @@ def write_edge_list(path: PathLike, edges: Iterable[Tuple[int, int]]) -> None:
             handle.write(f"{u} {v}\n")
 
 
-def write_attribute_file(path: PathLike, attributes: Dict[int, str]) -> None:
-    """Write an attribute assignment, one ``id value`` pair per line."""
+def write_attribute_file(path: PathLike, attributes: Dict[int, AttributeValue]) -> None:
+    """Write an attribute assignment, one ``id value`` pair per line.
+
+    Values are written through ``str`` -- the text format is string-typed
+    (see the module docstring).
+    """
     with open(path, "w", encoding="utf-8") as handle:
         for vertex in sorted(attributes):
             handle.write(f"{vertex} {attributes[vertex]}\n")
@@ -68,11 +117,17 @@ def load_graph(
     edges_path: PathLike,
     upper_attrs_path: PathLike,
     lower_attrs_path: PathLike,
+    value_parser: Optional[ValueParser] = None,
 ) -> AttributedBipartiteGraph:
-    """Load a graph from an edge list plus two attribute files."""
+    """Load a graph from an edge list plus two attribute files.
+
+    Attribute values are loaded as strings (the text format is
+    string-typed); pass ``value_parser=int_or_str`` to restore int-valued
+    attributes written by :func:`save_graph`.
+    """
     edges = read_edge_list(edges_path)
-    upper_attrs = read_attribute_file(upper_attrs_path)
-    lower_attrs = read_attribute_file(lower_attrs_path)
+    upper_attrs = read_attribute_file(upper_attrs_path, value_parser=value_parser)
+    lower_attrs = read_attribute_file(lower_attrs_path, value_parser=value_parser)
     return AttributedBipartiteGraph.from_edges(
         edges,
         upper_attrs,
@@ -88,7 +143,12 @@ def save_graph(
     upper_attrs_path: PathLike,
     lower_attrs_path: PathLike,
 ) -> None:
-    """Save a graph as an edge list plus two attribute files."""
+    """Save a graph as an edge list plus two attribute files.
+
+    Attribute values are coerced to strings; loading the files back yields
+    string-valued attributes unless :func:`load_graph` is given a
+    ``value_parser`` that restores the original types.
+    """
     write_edge_list(edges_path, sorted(graph.edges()))
     write_attribute_file(
         upper_attrs_path, {u: str(graph.upper_attribute(u)) for u in graph.upper_vertices()}
@@ -99,7 +159,11 @@ def save_graph(
 
 
 def graph_to_json(graph: AttributedBipartiteGraph) -> str:
-    """Serialise a graph to a JSON string (single-file round trip)."""
+    """Serialise a graph to a JSON string (single-file round trip).
+
+    Unlike the text format, attribute values keep their JSON-representable
+    types (ints stay ints).
+    """
     payload = {
         "upper_vertices": list(graph.upper_vertices()),
         "lower_vertices": list(graph.lower_vertices()),

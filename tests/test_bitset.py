@@ -1,0 +1,148 @@
+"""Unit tests of the dense bitmask adjacency view (``repro.graph.bitset``)."""
+
+import pytest
+
+from repro.core.enumeration._common import (
+    BITSET_BACKEND,
+    FROZENSET_BACKEND,
+    make_adjacency_view,
+    validate_backend,
+)
+from repro.graph.bitset import BitsetGraph, iter_set_bits, popcount
+from repro.graph.generators import random_bipartite_graph
+
+from conftest import make_graph
+
+
+@pytest.fixture
+def graph():
+    # Non-contiguous ids on both sides: the dense compaction must translate.
+    return make_graph(
+        [(10, 5), (10, 7), (20, 5), (30, 7), (30, 9)],
+        upper_attrs={10: "a", 20: "b", 30: "a"},
+        lower_attrs={5: "a", 7: "b", 9: "a"},
+    )
+
+
+class TestIterSetBits:
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_ascending_indices(self):
+        assert list(iter_set_bits(0b1011)) == [0, 1, 3]
+
+    def test_large_mask(self):
+        mask = (1 << 900) | (1 << 63) | 1
+        assert list(iter_set_bits(mask)) == [0, 63, 900]
+        assert popcount(mask) == 3
+
+
+class TestBitsetGraph:
+    def test_index_translation_is_sorted_by_id(self, graph):
+        bitset = BitsetGraph(graph)
+        assert bitset.upper_ids == (10, 20, 30)
+        assert bitset.lower_ids == (5, 7, 9)
+        assert bitset.upper_index == {10: 0, 20: 1, 30: 2}
+        assert bitset.lower_index == {5: 0, 7: 1, 9: 2}
+
+    def test_rows_match_adjacency(self, graph):
+        bitset = BitsetGraph(graph)
+        for i, u in enumerate(bitset.upper_ids):
+            assert bitset.lower_ids_of_mask(bitset.upper_rows[i]) == graph.neighbors_of_upper(u)
+        for j, v in enumerate(bitset.lower_ids):
+            assert bitset.upper_ids_of_mask(bitset.lower_rows[j]) == graph.neighbors_of_lower(v)
+
+    def test_mask_round_trip(self, graph):
+        bitset = BitsetGraph(graph)
+        ids = frozenset({10, 30})
+        assert bitset.upper_ids_of_mask(bitset.upper_mask_of_ids(ids)) == ids
+        ids = frozenset({5, 9})
+        assert bitset.lower_ids_of_mask(bitset.lower_mask_of_ids(ids)) == ids
+
+    def test_full_masks(self, graph):
+        bitset = BitsetGraph(graph)
+        assert bitset.upper_ids_of_mask(bitset.full_upper_mask) == frozenset({10, 20, 30})
+        assert bitset.lower_ids_of_mask(bitset.full_lower_mask) == frozenset({5, 7, 9})
+
+    def test_common_neighbour_masks_match_graph(self, graph):
+        bitset = BitsetGraph(graph)
+        for subset in [(), (5,), (5, 7), (7, 9), (5, 7, 9)]:
+            expected = graph.common_upper_neighbors(subset)
+            assert bitset.upper_ids_of_mask(bitset.common_upper_mask(subset)) == expected
+        for subset in [(), (10,), (10, 30), (10, 20, 30)]:
+            expected = graph.common_lower_neighbors(subset)
+            assert bitset.lower_ids_of_mask(bitset.common_lower_mask(subset)) == expected
+
+    def test_degrees(self, graph):
+        bitset = BitsetGraph(graph)
+        assert bitset.upper_degrees() == [graph.degree_upper(u) for u in bitset.upper_ids]
+        assert bitset.lower_degrees() == [graph.degree_lower(v) for v in bitset.lower_ids]
+
+    def test_attributes_by_dense_index(self, graph):
+        bitset = BitsetGraph(graph)
+        assert bitset.upper_attributes == ["a", "b", "a"]
+        assert bitset.lower_attributes == ["a", "b", "a"]
+
+    def test_empty_graph(self):
+        empty = make_graph([], upper_attrs={}, lower_attrs={})
+        bitset = BitsetGraph(empty)
+        assert bitset.full_upper_mask == 0
+        assert bitset.full_lower_mask == 0
+        assert bitset.upper_rows == [] and bitset.lower_rows == []
+
+    def test_beyond_native_word_width(self):
+        # 200+200 vertices: masks exceed 64/128-bit words, exercising the
+        # arbitrary precision path.
+        graph = random_bipartite_graph(200, 200, 0.05, seed=3)
+        bitset = BitsetGraph(graph)
+        for j, v in enumerate(bitset.lower_ids):
+            assert bitset.upper_ids_of_mask(bitset.lower_rows[j]) == graph.neighbors_of_lower(v)
+
+
+class TestAdjacencyView:
+    def test_validate_backend(self):
+        validate_backend(BITSET_BACKEND)
+        validate_backend(FROZENSET_BACKEND)
+        with pytest.raises(ValueError):
+            validate_backend("numpy")
+
+    def test_make_view_rejects_unknown_backend(self, graph):
+        with pytest.raises(ValueError):
+            make_adjacency_view(graph, "numpy")
+
+    def test_views_agree(self, graph):
+        frozen = make_adjacency_view(graph, FROZENSET_BACKEND)
+        bitset = make_adjacency_view(graph, BITSET_BACKEND)
+        assert frozen.lower_ids(frozen.handles) == bitset.lower_ids(bitset.handles)
+        assert frozen.upper_ids(frozen.full_upper) == bitset.upper_ids(bitset.full_upper)
+        for f_handle, b_handle in zip(sorted(frozen.handles), sorted(bitset.handles)):
+            assert frozen.attribute_of(f_handle) == bitset.attribute_of(b_handle)
+            assert frozen.degree_of(f_handle) == bitset.degree_of(b_handle)
+            assert frozen.upper_ids(frozen.adj[f_handle]) == bitset.upper_ids(
+                bitset.adj[b_handle]
+            )
+
+    def test_ordered_handles_match_across_backends(self, graph):
+        frozen = make_adjacency_view(graph, FROZENSET_BACKEND)
+        bitset = make_adjacency_view(graph, BITSET_BACKEND)
+        for ordering in ("degree", "id"):
+            frozen_order = frozen.ordered_handles(ordering)
+            bitset_order = [
+                BitsetGraph(graph).lower_ids[h] for h in bitset.ordered_handles(ordering)
+            ]
+            assert frozen_order == bitset_order
+
+    def test_ordered_handles_rejects_unknown_ordering(self, graph):
+        view = make_adjacency_view(graph, BITSET_BACKEND)
+        with pytest.raises(ValueError):
+            view.ordered_handles("random")
+
+    def test_common_neighbour_helpers_agree(self, graph):
+        frozen = make_adjacency_view(graph, FROZENSET_BACKEND)
+        bitset = make_adjacency_view(graph, BITSET_BACKEND)
+        for lowers in [(), (5,), (5, 7)]:
+            assert frozen.upper_ids(frozen.common_upper(lowers)) == bitset.upper_ids(
+                bitset.common_upper(lowers)
+            )
+        for uppers in [(), (10,), (10, 30)]:
+            assert frozen.common_lower_ids(uppers) == bitset.common_lower_ids(uppers)

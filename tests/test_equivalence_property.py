@@ -6,12 +6,16 @@ of fair bicliques defined by Definitions 3-6 (computed by the exponential
 reference enumerators).
 """
 
+import itertools
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
 from repro.core.enumeration.fairbcem import fair_bcem
 from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.mbea import enumerate_maximal_bicliques
 from repro.core.enumeration.naive import bnsf, nsf
 from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
 from repro.core.enumeration.reference import (
@@ -21,7 +25,7 @@ from repro.core.enumeration.reference import (
     reference_ssfbc,
 )
 from repro.core.models import FairnessParams
-from repro.graph.generators import random_bipartite_graph
+from repro.graph.generators import block_bipartite_graph, random_bipartite_graph
 
 
 @st.composite
@@ -86,3 +90,61 @@ def test_orderings_and_prunings_do_not_change_results(case):
     assert fair_bcem_pp(graph, params, ordering="id").as_set() == baseline
     assert fair_bcem_pp(graph, params, pruning="none").as_set() == baseline
     assert fair_bcem(graph, params, ordering="id", pruning="core").as_set() == baseline
+
+
+# ----------------------------------------------------------------------
+# cross-backend equivalence: bitset vs frozenset adjacency
+# ----------------------------------------------------------------------
+#: Every enumeration entry point of the six algorithm modules.
+ALL_ALGORITHMS = [
+    fair_bcem,          # fairbcem.py
+    fair_bcem_pp,       # fairbcem_pp.py
+    nsf,                # naive.py (single-side)
+    bfair_bcem,         # bfairbcem.py
+    bfair_bcem_pp,      # bfairbcem.py (++)
+    bnsf,               # naive.py (bi-side)
+    fair_bcem_pro_pp,   # proportion.py (single-side)
+    bfair_bcem_pro_pp,  # proportion.py (bi-side)
+]
+
+
+@given(graph_and_params(with_theta=True))
+@settings(max_examples=25, deadline=None)
+def test_backends_agree_on_random_graphs(case):
+    graph, params = case
+    for algorithm in ALL_ALGORITHMS:
+        bitset = algorithm(graph, params, backend="bitset").as_set()
+        frozen = algorithm(graph, params, backend="frozenset").as_set()
+        assert bitset == frozen, algorithm.__name__
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize(
+    "alpha,beta,delta,theta",
+    list(itertools.product((1, 2), (1, 2), (0, 1, 2), (None, 0.3, 0.5))),
+)
+def test_backends_agree_on_parameter_grid(seed, alpha, beta, delta, theta):
+    """Deterministic grid: identical biclique sets under both backends.
+
+    Covers all six algorithm modules on a random and a community-structured
+    generator over a full (alpha, beta, delta, theta) grid.
+    """
+    graphs = [
+        random_bipartite_graph(7, 7, 0.5, seed=seed),
+        block_bipartite_graph(2, 3, 3, intra_probability=0.9, seed=seed),
+    ]
+    params = FairnessParams(alpha, beta, delta, theta)
+    for graph in graphs:
+        for algorithm in ALL_ALGORITHMS:
+            bitset = algorithm(graph, params, backend="bitset").as_set()
+            frozen = algorithm(graph, params, backend="frozenset").as_set()
+            assert bitset == frozen, algorithm.__name__
+
+
+@given(graph_and_params())
+@settings(max_examples=25, deadline=None)
+def test_mbea_backends_agree(case):
+    graph, _params = case
+    bitset = set(enumerate_maximal_bicliques(graph, backend="bitset"))
+    frozen = set(enumerate_maximal_bicliques(graph, backend="frozenset"))
+    assert bitset == frozen

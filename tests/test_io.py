@@ -6,6 +6,7 @@ from repro.graph.bipartite import BipartiteGraphError
 from repro.graph.io import (
     graph_from_json,
     graph_to_json,
+    int_or_str,
     load_graph,
     load_graph_json,
     read_attribute_file,
@@ -59,6 +60,92 @@ class TestEdgeListFormat:
         path = tmp_path / "edges.txt"
         write_edge_list(path, [(1, 2), (3, 4)])
         assert path.read_text() == "1 2\n3 4\n"
+
+    def test_edge_list_ignores_extra_columns(self, tmp_path):
+        # KONECT edge lists may carry weight / timestamp columns.
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2 1.0 1234\n3 4 2.0 5678\n")
+        assert read_edge_list(path) == [(1, 2), (3, 4)]
+
+
+class TestAttributeValues:
+    """Regression tests: attribute values with whitespace and non-str types."""
+
+    def test_multi_word_values_are_not_truncated(self, tmp_path):
+        path = tmp_path / "attrs.txt"
+        path.write_text("3 data science\n7 machine  learning\n")
+        attrs = read_attribute_file(path)
+        assert attrs == {3: "data science", 7: "machine  learning"}
+
+    def test_multi_word_values_round_trip(self, tmp_path):
+        path = tmp_path / "attrs.txt"
+        original = {0: "data science", 1: "arts", 2: "civil engineering"}
+        write_attribute_file(path, original)
+        assert read_attribute_file(path) == original
+
+    def test_multi_word_graph_round_trip(self, tmp_path):
+        graph = make_graph(
+            [(0, 0), (0, 1), (1, 0)],
+            upper_attrs={0: "senior engineer", 1: "staff engineer"},
+            lower_attrs={0: "data science", 1: "visual arts"},
+        )
+        save_graph(graph, tmp_path / "g.edges", tmp_path / "g.upper", tmp_path / "g.lower")
+        loaded = load_graph(tmp_path / "g.edges", tmp_path / "g.upper", tmp_path / "g.lower")
+        assert loaded == graph
+
+    def test_text_round_trip_is_string_typed_by_default(self, tmp_path):
+        graph = make_graph(
+            [(0, 0), (0, 1), (1, 0)],
+            upper_attrs={0: 1, 1: 2},
+            lower_attrs={0: 10, 1: 20},
+        )
+        save_graph(graph, tmp_path / "g.edges", tmp_path / "g.upper", tmp_path / "g.lower")
+        loaded = load_graph(tmp_path / "g.edges", tmp_path / "g.upper", tmp_path / "g.lower")
+        # The documented contract: the text format is string-typed.
+        assert loaded.upper_attribute(0) == "1"
+        assert loaded.lower_attribute(1) == "20"
+        assert loaded != graph
+
+    def test_text_round_trip_with_value_parser_restores_ints(self, tmp_path):
+        graph = make_graph(
+            [(0, 0), (0, 1), (1, 0)],
+            upper_attrs={0: 1, 1: 2},
+            lower_attrs={0: 10, 1: "mixed value"},
+        )
+        save_graph(graph, tmp_path / "g.edges", tmp_path / "g.upper", tmp_path / "g.lower")
+        loaded = load_graph(
+            tmp_path / "g.edges",
+            tmp_path / "g.upper",
+            tmp_path / "g.lower",
+            value_parser=int_or_str,
+        )
+        assert loaded == graph
+        assert loaded.upper_attribute(0) == 1
+        assert loaded.lower_attribute(1) == "mixed value"
+
+    def test_json_round_trip_preserves_int_values(self):
+        graph = make_graph(
+            [(0, 0), (0, 1), (1, 0)],
+            upper_attrs={0: 1, 1: 2},
+            lower_attrs={0: 10, 1: 20},
+        )
+        loaded = graph_from_json(graph_to_json(graph))
+        assert loaded == graph
+        assert loaded.upper_attribute(0) == 1
+
+    def test_int_or_str_parser(self):
+        assert int_or_str("42") == 42
+        assert int_or_str("-7") == -7
+        assert int_or_str("4.2") == "4.2"
+        assert int_or_str("data science") == "data science"
+
+    def test_int_or_str_only_converts_canonical_renderings(self):
+        # int() accepts these, but str(int) never produces them: converting
+        # would break the round-trip identity for string attribute values.
+        assert int_or_str("+7") == "+7"
+        assert int_or_str("1_0") == "1_0"
+        assert int_or_str("007") == "007"
+        assert int_or_str(" 7") == " 7"
 
 
 class TestJsonFormat:
