@@ -18,7 +18,6 @@ The pipeline mirrors the paper's case study:
 from repro import FairnessParams
 from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
 from repro.datasets.recommend import (
-    CollaborativeFilteringRecommender,
     build_recommendation_graph,
     synthetic_job_ratings,
 )
@@ -33,7 +32,6 @@ def popular_share(graph, items):
 
 def main() -> None:
     data = synthetic_job_ratings(num_users=120, num_jobs=60, seed=0)
-    recommender = CollaborativeFilteringRecommender(data)
     foreigners = [u for u, value in data.user_attributes.items() if value == "F"]
 
     print("=== plain collaborative filtering (top-5) ===")

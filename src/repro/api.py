@@ -14,12 +14,32 @@ fairness-aware maximal bicliques back.
 >>> result = enumerate_ssfbc(graph, FairnessParams(alpha=1, beta=1, delta=1))
 >>> len(result.bicliques)
 1
+
+Staged execution engine
+-----------------------
+Every ``enumerate_*`` function accepts two engine knobs:
+
+``n_jobs``
+    ``1`` (the default) keeps the classic single-process call path.  Any
+    other value routes the request through the staged execution engine
+    (:mod:`repro.core.engine`): the graph is pruned once, decomposed into
+    independent shards, enumerated per shard -- across a process pool when
+    ``n_jobs > 1`` (``<= 0`` means one worker per CPU) -- and merged into a
+    deterministic, canonically ordered result.
+``shard``
+    ``None`` (default) shards exactly when the engine is used; ``True``
+    forces the engine (sharded, even with ``n_jobs=1``); ``False`` keeps
+    the pruned graph as a single shard.
+
+The engine returns the identical biclique set as the single-process path;
+only the result ordering (canonical) and the statistics aggregation differ.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import engine
 from repro.core.enumeration._common import DEFAULT_BACKEND, KNOWN_BACKENDS
 from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
 from repro.core.enumeration.fairbcem import fair_bcem
@@ -49,6 +69,35 @@ BSFBC_ALGORITHMS = {
 }
 
 
+def _use_engine(n_jobs: int, shard: Optional[bool]) -> bool:
+    """The engine handles every request except the classic default path."""
+    return shard is True or n_jobs != 1
+
+
+def _run_engine(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    model: str,
+    algorithm: Optional[str],
+    ordering: str,
+    pruning: str,
+    backend: str,
+    n_jobs: int,
+    shard: Optional[bool],
+) -> EnumerationResult:
+    return engine.run(
+        graph,
+        params,
+        model=model,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        backend=backend,
+        n_jobs=n_jobs,
+        shard=shard is not False,
+    )
+
+
 def enumerate_ssfbc(
     graph: AttributedBipartiteGraph,
     params: FairnessParams,
@@ -56,6 +105,8 @@ def enumerate_ssfbc(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     backend: str = DEFAULT_BACKEND,
+    n_jobs: int = 1,
+    shard: Optional[bool] = None,
 ) -> EnumerationResult:
     """Enumerate all single-side fair bicliques (SSFBC, Definition 3).
 
@@ -63,7 +114,8 @@ def enumerate_ssfbc(
     ``"fairbcem"`` or ``"nsf"``.  ``backend`` selects the adjacency
     representation of the search: ``"bitset"`` (dense integer bitmasks, the
     default and fastest) or ``"frozenset"`` (the pure-set reference path);
-    both return the identical biclique set.
+    both return the identical biclique set.  ``n_jobs`` / ``shard`` engage
+    the staged execution engine (see the module docstring).
     """
     try:
         function = SSFBC_ALGORITHMS[algorithm]
@@ -71,6 +123,10 @@ def enumerate_ssfbc(
         raise ValueError(
             f"unknown SSFBC algorithm {algorithm!r}; expected one of {sorted(SSFBC_ALGORITHMS)}"
         ) from None
+    if _use_engine(n_jobs, shard):
+        return _run_engine(
+            graph, params, "ssfbc", algorithm, ordering, pruning, backend, n_jobs, shard
+        )
     return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
@@ -81,6 +137,8 @@ def enumerate_bsfbc(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     backend: str = DEFAULT_BACKEND,
+    n_jobs: int = 1,
+    shard: Optional[bool] = None,
 ) -> EnumerationResult:
     """Enumerate all bi-side fair bicliques (BSFBC, Definition 4)."""
     try:
@@ -89,6 +147,10 @@ def enumerate_bsfbc(
         raise ValueError(
             f"unknown BSFBC algorithm {algorithm!r}; expected one of {sorted(BSFBC_ALGORITHMS)}"
         ) from None
+    if _use_engine(n_jobs, shard):
+        return _run_engine(
+            graph, params, "bsfbc", algorithm, ordering, pruning, backend, n_jobs, shard
+        )
     return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
@@ -99,6 +161,8 @@ def enumerate_pssfbc(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     backend: str = DEFAULT_BACKEND,
+    n_jobs: int = 1,
+    shard: Optional[bool] = None,
 ) -> EnumerationResult:
     """Enumerate all proportion single-side fair bicliques (PSSFBC).
 
@@ -106,6 +170,10 @@ def enumerate_pssfbc(
     """
     if theta is not None:
         params = params.with_theta(theta)
+    if _use_engine(n_jobs, shard):
+        return _run_engine(
+            graph, params, "pssfbc", None, ordering, pruning, backend, n_jobs, shard
+        )
     return fair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
 
@@ -116,8 +184,14 @@ def enumerate_pbsfbc(
     ordering: str = DEGREE_ORDER,
     pruning: str = "colorful",
     backend: str = DEFAULT_BACKEND,
+    n_jobs: int = 1,
+    shard: Optional[bool] = None,
 ) -> EnumerationResult:
     """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
     if theta is not None:
         params = params.with_theta(theta)
+    if _use_engine(n_jobs, shard):
+        return _run_engine(
+            graph, params, "pbsfbc", None, ordering, pruning, backend, n_jobs, shard
+        )
     return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)

@@ -22,8 +22,14 @@ from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.analysis.reporting import format_table
-from repro.api import BACKENDS, DEFAULT_BACKEND, BSFBC_ALGORITHMS, SSFBC_ALGORITHMS
-from repro.core.enumeration.proportion import bfair_bcem_pro_pp, fair_bcem_pro_pp
+from repro.api import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    enumerate_bsfbc,
+    enumerate_pbsfbc,
+    enumerate_pssfbc,
+    enumerate_ssfbc,
+)
 from repro.core.models import FairnessParams
 from repro.core.pruning.cfcore import (
     bi_colorful_fair_core,
@@ -33,7 +39,7 @@ from repro.core.pruning.cfcore import (
 )
 from repro.datasets.registry import dataset_names, dataset_table, load_dataset
 from repro.graph.bipartite import AttributedBipartiteGraph
-from repro.graph.io import load_graph
+from repro.graph.io import int_or_str, load_graph
 
 _PRUNERS = {
     "fcore": fair_core_pruning,
@@ -51,6 +57,7 @@ _EXPERIMENTS = {
     "fig10": lambda: experiments.experiment_case_recommendation(),
     "fig11": lambda: experiments.experiment_proportion_counts("youtube-small"),
     "table2": lambda: experiments.experiment_orderings(["dblp-small", "youtube-small"]),
+    "scale_jobs": lambda: experiments.experiment_parallel_scalability("dblp-small"),
 }
 
 
@@ -58,7 +65,10 @@ def _load_input_graph(args: argparse.Namespace) -> AttributedBipartiteGraph:
     if args.dataset:
         return load_dataset(args.dataset, seed=args.seed)
     if args.edges and args.upper_attrs and args.lower_attrs:
-        return load_graph(args.edges, args.upper_attrs, args.lower_attrs)
+        value_parser = int_or_str if getattr(args, "parse_int", False) else None
+        return load_graph(
+            args.edges, args.upper_attrs, args.lower_attrs, value_parser=value_parser
+        )
     raise SystemExit(
         "either --dataset or all of --edges/--upper-attrs/--lower-attrs must be given"
     )
@@ -70,6 +80,12 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--upper-attrs", help="upper-side attribute file (id value per line)")
     parser.add_argument("--lower-attrs", help="lower-side attribute file (id value per line)")
     parser.add_argument("--seed", type=int, default=0, help="seed for synthetic datasets")
+    parser.add_argument(
+        "--parse-int",
+        action="store_true",
+        help="parse attribute-file values that look like integers back to ints "
+        "(the text format is string-typed otherwise)",
+    )
 
 
 def _add_params_arguments(parser: argparse.ArgumentParser) -> None:
@@ -115,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
         "bitmasks, the default; frozenset: the pure-set reference path)",
     )
     enum_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes of the execution engine (1: classic single-process "
+        "path; >1: shard fan-out over a process pool; 0: one worker per CPU)",
+    )
+    enum_parser.add_argument(
+        "--no-shard",
+        action="store_true",
+        help="keep the pruned graph as a single shard (sharding is on whenever "
+        "the execution engine runs)",
+    )
+    enum_parser.add_argument(
         "--count-only", action="store_true", help="print only the number of results"
     )
     enum_parser.add_argument(
@@ -137,26 +166,25 @@ def _run_enumerate(args: argparse.Namespace) -> int:
     graph = _load_input_graph(args)
     params = FairnessParams(args.alpha, args.beta, args.delta, args.theta)
     model = args.model
+    engine_options = dict(
+        ordering=args.ordering,
+        pruning=args.pruning,
+        backend=args.backend,
+        n_jobs=args.jobs,
+        shard=False if args.no_shard else None,
+    )
     if model == "ssfbc":
-        algorithm = args.algorithm or "fairbcem++"
-        function = SSFBC_ALGORITHMS[algorithm]
-        result = function(
-            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        result = enumerate_ssfbc(
+            graph, params, algorithm=args.algorithm or "fairbcem++", **engine_options
         )
     elif model == "bsfbc":
-        algorithm = args.algorithm or "bfairbcem++"
-        function = BSFBC_ALGORITHMS[algorithm]
-        result = function(
-            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
+        result = enumerate_bsfbc(
+            graph, params, algorithm=args.algorithm or "bfairbcem++", **engine_options
         )
     elif model == "pssfbc":
-        result = fair_bcem_pro_pp(
-            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
-        )
+        result = enumerate_pssfbc(graph, params, **engine_options)
     else:
-        result = bfair_bcem_pro_pp(
-            graph, params, ordering=args.ordering, pruning=args.pruning, backend=args.backend
-        )
+        result = enumerate_pbsfbc(graph, params, **engine_options)
 
     stats = result.stats
     print(

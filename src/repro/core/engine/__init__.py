@@ -1,0 +1,108 @@
+"""Staged execution engine: prune -> shard -> enumerate -> merge.
+
+The engine inverts the monolithic ``algorithm(graph, params)`` call path
+into three explicit stages:
+
+* :func:`~repro.core.engine.planner.plan` prunes the input **once**,
+  decomposes the pruned graph into independent shards (connected
+  components, with a 2-hop-cluster fallback for one giant component) and
+  compacts each shard into its own dense substrate description;
+* :func:`~repro.core.engine.executor.execute` runs the substrate-level
+  search of the selected algorithm per shard -- in-process or fanned out
+  across a ``ProcessPoolExecutor`` via the ``n_jobs`` knob;
+* :func:`~repro.core.engine.merger.merge` unions the per-shard results with
+  a deterministic canonical ordering and aggregated statistics.
+
+:func:`run` chains the three stages.  The sharded path returns exactly the
+same biclique set as the single-process algorithms (see
+:mod:`repro.graph.components` for the decomposition correctness argument);
+ordering follows the canonical biclique key and statistics aggregate over
+shards.  The :mod:`repro.api` ``enumerate_*`` functions route through the
+engine whenever ``n_jobs``/``shard`` ask for it and keep the legacy
+single-process call path byte-for-byte unchanged otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine.executor import (
+    ShardOutcome,
+    execute,
+    resolve_n_jobs,
+    run_on_substrate,
+)
+from repro.core.engine.merger import merge
+from repro.core.engine.planner import (
+    BSFBC_MODEL,
+    DISPLAY_NAMES,
+    MODEL_ALGORITHMS,
+    PBSFBC_MODEL,
+    PSSFBC_MODEL,
+    SSFBC_MODEL,
+    ExecutionPlan,
+    Shard,
+    plan,
+    resolve_algorithm,
+)
+from repro.core.enumeration._common import DEFAULT_BACKEND, Timer
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.models import EnumerationResult, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.components import AUTO_STRATEGY
+
+__all__ = [
+    "AUTO_STRATEGY",
+    "BSFBC_MODEL",
+    "DISPLAY_NAMES",
+    "ExecutionPlan",
+    "MODEL_ALGORITHMS",
+    "PBSFBC_MODEL",
+    "PSSFBC_MODEL",
+    "SSFBC_MODEL",
+    "Shard",
+    "ShardOutcome",
+    "execute",
+    "merge",
+    "plan",
+    "resolve_algorithm",
+    "resolve_n_jobs",
+    "run",
+    "run_on_substrate",
+]
+
+
+def run(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    model: str = SSFBC_MODEL,
+    algorithm: Optional[str] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    n_jobs: int = 1,
+    shard: bool = True,
+    strategy: str = AUTO_STRATEGY,
+) -> EnumerationResult:
+    """Run the full staged pipeline and return the merged result.
+
+    Parameters mirror the :mod:`repro.api` ``enumerate_*`` functions plus
+    the engine knobs: ``n_jobs`` (``1`` serial, ``> 1`` process fan-out,
+    ``<= 0`` one worker per CPU), ``shard`` (decompose the pruned graph or
+    treat it as a single shard) and ``strategy`` (``"auto"``,
+    ``"components"``, ``"cluster"`` or ``"none"``).
+    """
+    timer = Timer()
+    execution_plan = plan(
+        graph,
+        params,
+        model=model,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        backend=backend,
+        shard=shard,
+        strategy=strategy,
+    )
+    outcomes = execute(execution_plan, n_jobs=n_jobs)
+    return merge(execution_plan, outcomes, elapsed_seconds=timer.elapsed())

@@ -1,0 +1,181 @@
+"""``execute()``: run the planned enumeration per shard, serially or fanned out.
+
+Every shard is independent by construction, so execution is a pure map:
+build the shard's :class:`~repro.core.enumeration._common.ShardSubstrate`
+(dense bitset compaction in the shard's own id space) and run the
+substrate-level search of the planned algorithm.  With ``n_jobs > 1`` the
+map runs on a :class:`concurrent.futures.ProcessPoolExecutor`; shard graphs,
+parameters and results are plain picklable objects, and the worker is a
+module-level function so the fan-out works under every start method.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.engine.planner import (
+    BSFBC_MODEL,
+    DISPLAY_NAMES,
+    PBSFBC_MODEL,
+    PSSFBC_MODEL,
+    SSFBC_MODEL,
+    ExecutionPlan,
+)
+from repro.core.enumeration._common import ShardSubstrate, make_substrate
+from repro.core.enumeration.bfairbcem import bfair_bcem_search
+from repro.core.enumeration.fairbcem import fair_bcem_search
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp_search
+from repro.core.enumeration.proportion import (
+    bfair_bcem_pro_pp_search,
+    fair_bcem_pro_pp_search,
+)
+from repro.core.models import Biclique, EnumerationStats, FairnessParams
+from repro.graph.attributes import AttributeValue
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+@dataclass
+class ShardOutcome:
+    """Result of enumerating one shard."""
+
+    index: int
+    bicliques: List[Biclique]
+    stats: EnumerationStats
+
+
+def _ssfbc_runner(search_pruning):
+    def runner(substrate, params, ordering, stats):
+        return fair_bcem_search(
+            substrate, params, ordering=ordering, search_pruning=search_pruning, stats=stats
+        )
+
+    return runner
+
+
+def _bsfbc_runner(use_plus_plus, search_pruning=True):
+    def runner(substrate, params, ordering, stats):
+        return bfair_bcem_search(
+            substrate,
+            params,
+            ordering=ordering,
+            stats=stats,
+            use_plus_plus=use_plus_plus,
+            search_pruning=search_pruning,
+        )
+
+    return runner
+
+
+#: ``(model, algorithm) -> substrate-level search``; keyed identically to
+#: :data:`~repro.core.engine.planner.DISPLAY_NAMES`, the registry's single
+#: source of truth (agreement checked below at import time).
+_RUNNERS = {
+    (SSFBC_MODEL, "fairbcem"): _ssfbc_runner(search_pruning=True),
+    (SSFBC_MODEL, "fairbcem++"): fair_bcem_pp_search,
+    (SSFBC_MODEL, "nsf"): _ssfbc_runner(search_pruning=False),
+    (BSFBC_MODEL, "bfairbcem"): _bsfbc_runner(use_plus_plus=False),
+    (BSFBC_MODEL, "bfairbcem++"): _bsfbc_runner(use_plus_plus=True),
+    (BSFBC_MODEL, "bnsf"): _bsfbc_runner(use_plus_plus=False, search_pruning=False),
+    (PSSFBC_MODEL, "fairbcempro++"): fair_bcem_pro_pp_search,
+    (PBSFBC_MODEL, "bfairbcempro++"): bfair_bcem_pro_pp_search,
+}
+assert set(_RUNNERS) == set(DISPLAY_NAMES), "executor dispatch out of sync with registry"
+
+
+def run_on_substrate(
+    model: str,
+    algorithm: str,
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    ordering: str,
+    stats: Optional[EnumerationStats] = None,
+) -> Tuple[List[Biclique], EnumerationStats]:
+    """Dispatch the substrate-level search of ``(model, algorithm)``."""
+    try:
+        runner = _RUNNERS[(model, algorithm)]
+    except KeyError:
+        raise ValueError(f"unknown model/algorithm pair {(model, algorithm)!r}") from None
+    stats = stats if stats is not None else EnumerationStats(
+        algorithm=DISPLAY_NAMES[(model, algorithm)]
+    )
+    # Every runner shares the (substrate, params, ordering, stats) signature.
+    return runner(substrate, params, ordering, stats), stats
+
+
+#: Payload shipped to a worker process: everything one shard needs.
+ShardPayload = Tuple[
+    int,
+    AttributedBipartiteGraph,
+    str,
+    str,
+    FairnessParams,
+    str,
+    str,
+    Tuple[AttributeValue, ...],
+    Tuple[AttributeValue, ...],
+]
+
+
+def _enumerate_shard(payload: ShardPayload) -> ShardOutcome:
+    """Worker entry point: build the shard substrate and run the search."""
+    (
+        index,
+        graph,
+        model,
+        algorithm,
+        params,
+        ordering,
+        backend,
+        lower_domain,
+        upper_domain,
+    ) = payload
+    substrate = make_substrate(
+        graph, backend, lower_domain=lower_domain, upper_domain=upper_domain
+    )
+    bicliques, stats = run_on_substrate(model, algorithm, substrate, params, ordering)
+    return ShardOutcome(index, bicliques, stats)
+
+
+def _payloads(plan: ExecutionPlan) -> List[ShardPayload]:
+    return [
+        (
+            shard.index,
+            shard.graph,
+            plan.model,
+            plan.algorithm,
+            plan.params,
+            plan.ordering,
+            plan.backend,
+            plan.lower_domain,
+            plan.upper_domain,
+        )
+        for shard in plan.shards
+    ]
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise the ``n_jobs`` knob (``None``/``0``/negative -> CPU count)."""
+    if n_jobs is None or n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def execute(plan: ExecutionPlan, n_jobs: int = 1) -> List[ShardOutcome]:
+    """Run every shard of ``plan`` and return the per-shard outcomes.
+
+    ``n_jobs=1`` runs in-process; ``n_jobs > 1`` fans the shards out over a
+    process pool with ``min(n_jobs, num_shards)`` workers.  ``0`` or a
+    negative value means "one worker per CPU".  Outcomes are returned in
+    shard order either way.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    payloads = _payloads(plan)
+    if not payloads:
+        return []
+    if jobs == 1 or len(payloads) == 1:
+        return [_enumerate_shard(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(_enumerate_shard, payloads))

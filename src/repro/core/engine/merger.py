@@ -1,0 +1,45 @@
+"""``merge()``: union per-shard outcomes into one deterministic result.
+
+Shards partition the search space, so merging is a concatenation plus a
+canonical sort (by :attr:`~repro.core.models.Biclique.key`) -- the merged
+ordering is therefore independent of shard order, worker count and
+scheduling.  Statistics are aggregated with
+:meth:`~repro.core.models.EnumerationStats.merge` and the pruning-related
+fields are overwritten from the plan's single global pruning pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.engine.executor import ShardOutcome
+from repro.core.engine.planner import ExecutionPlan
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats
+
+
+def merge(
+    plan: ExecutionPlan,
+    outcomes: Iterable[ShardOutcome],
+    elapsed_seconds: float = 0.0,
+) -> EnumerationResult:
+    """Combine shard outcomes into the final :class:`EnumerationResult`.
+
+    ``elapsed_seconds`` is the wall-clock time of the whole run (the summed
+    per-shard times are meaningless under parallel execution).
+    """
+    outcomes = list(outcomes)
+    bicliques: List[Biclique] = sorted(
+        (biclique for outcome in outcomes for biclique in outcome.bicliques),
+        key=lambda biclique: biclique.key,
+    )
+    stats = EnumerationStats.merge(
+        (outcome.stats for outcome in outcomes), algorithm=plan.display_name
+    )
+    pruning = plan.pruning_result
+    stats.upper_vertices_before_pruning = pruning.upper_before
+    stats.lower_vertices_before_pruning = pruning.lower_before
+    stats.upper_vertices_after_pruning = pruning.upper_after
+    stats.lower_vertices_after_pruning = pruning.lower_after
+    stats.pruning_seconds = pruning.elapsed_seconds
+    stats.elapsed_seconds = elapsed_seconds
+    return EnumerationResult(bicliques, stats)

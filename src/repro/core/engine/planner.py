@@ -1,0 +1,217 @@
+"""``plan()``: prune once, decompose into shards, describe the execution.
+
+The planning stage performs all work that must happen exactly once per
+enumeration request, regardless of how many workers later execute it:
+
+1. **Prune** the input graph with the technique and sidedness of the chosen
+   model (the single pruning pass becomes the input of every shard -- the
+   substrate-level searches never prune again).
+2. **Decompose** the pruned graph into shards: connected components by
+   default, with a 2-hop-cluster fallback when the graph is one giant
+   component (see :mod:`repro.graph.components` for the correctness
+   argument).  Shards missing a side are dropped -- no biclique with two
+   non-empty sides can live there.
+3. **Compact** each shard into its own induced subgraph, so the bitset
+   backend later builds dense masks whose width is the shard size rather
+   than the whole graph.
+
+The resulting :class:`ExecutionPlan` is a plain description: it can be
+executed serially, fanned out over processes, cached, or inspected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.enumeration._common import (
+    DEFAULT_BACKEND,
+    validate_alpha,
+    validate_backend,
+)
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.models import FairnessParams
+from repro.core.pruning.cfcore import PruningResult, prune_for_model
+from repro.graph.attributes import AttributeValue
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.components import AUTO_STRATEGY, NO_SHARDING, decompose
+
+SSFBC_MODEL = "ssfbc"
+BSFBC_MODEL = "bsfbc"
+PSSFBC_MODEL = "pssfbc"
+PBSFBC_MODEL = "pbsfbc"
+
+#: Single source of truth for the engine's algorithm registry:
+#: ``(model, algorithm) -> stats display name``.  The executor's dispatch
+#: table and the defaults below are validated against it at import time, and
+#: ``tests/test_engine.py`` asserts agreement with the :mod:`repro.api`
+#: registries, so adding an algorithm in one place fails loudly everywhere
+#: else.
+DISPLAY_NAMES = {
+    (SSFBC_MODEL, "fairbcem"): "FairBCEM",
+    (SSFBC_MODEL, "fairbcem++"): "FairBCEM++",
+    (SSFBC_MODEL, "nsf"): "NSF",
+    (BSFBC_MODEL, "bfairbcem"): "BFairBCEM",
+    (BSFBC_MODEL, "bfairbcem++"): "BFairBCEM++",
+    (BSFBC_MODEL, "bnsf"): "BNSF",
+    (PSSFBC_MODEL, "fairbcempro++"): "FairBCEMPro++",
+    (PBSFBC_MODEL, "bfairbcempro++"): "BFairBCEMPro++",
+}
+
+_DEFAULT_ALGORITHMS = {
+    SSFBC_MODEL: "fairbcem++",
+    BSFBC_MODEL: "bfairbcem++",
+    PSSFBC_MODEL: "fairbcempro++",
+    PBSFBC_MODEL: "bfairbcempro++",
+}
+
+#: Derived view: ``model -> (default algorithm, known algorithms)``.
+MODEL_ALGORITHMS = {
+    model: (
+        default,
+        tuple(a for (m, a) in DISPLAY_NAMES if m == model),
+    )
+    for model, default in _DEFAULT_ALGORITHMS.items()
+}
+assert all(
+    default in known for default, known in MODEL_ALGORITHMS.values()
+), "engine algorithm defaults must appear in DISPLAY_NAMES"
+
+BI_SIDE_MODELS = (BSFBC_MODEL, PBSFBC_MODEL)
+
+
+def resolve_algorithm(model: str, algorithm: Optional[str]) -> str:
+    """Validate ``model`` and resolve ``algorithm`` (``None`` -> default)."""
+    try:
+        default, known = MODEL_ALGORITHMS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; expected one of {sorted(MODEL_ALGORITHMS)}"
+        ) from None
+    if algorithm is None:
+        return default
+    if algorithm not in known:
+        raise ValueError(
+            f"unknown {model.upper()} algorithm {algorithm!r}; expected one of {sorted(known)}"
+        )
+    return algorithm
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent piece of the pruned graph."""
+
+    index: int
+    graph: AttributedBipartiteGraph
+
+    @property
+    def num_upper(self) -> int:
+        """Upper-side size of the shard."""
+        return self.graph.num_upper
+
+    @property
+    def num_lower(self) -> int:
+        """Lower-side size of the shard."""
+        return self.graph.num_lower
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the shard."""
+        return self.graph.num_edges
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything the execute / merge stages need, computed once."""
+
+    model: str
+    algorithm: str
+    params: FairnessParams
+    ordering: str
+    pruning: str
+    backend: str
+    source_graph: AttributedBipartiteGraph
+    pruning_result: PruningResult
+    shards: List[Shard]
+    strategy: str
+    lower_domain: Tuple[AttributeValue, ...]
+    upper_domain: Tuple[AttributeValue, ...]
+    plan_seconds: float = 0.0
+
+    @property
+    def display_name(self) -> str:
+        """Stats display name of the planned algorithm."""
+        return DISPLAY_NAMES[(self.model, self.algorithm)]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of non-trivial shards to execute."""
+        return len(self.shards)
+
+
+def plan(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    model: str = SSFBC_MODEL,
+    algorithm: Optional[str] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    shard: bool = True,
+    strategy: str = AUTO_STRATEGY,
+) -> ExecutionPlan:
+    """Build the :class:`ExecutionPlan` for one enumeration request.
+
+    With ``shard=False`` (or when the decomposition finds a single piece)
+    the plan holds one shard covering the whole pruned graph; the pipeline
+    is the same either way.
+    """
+    started = time.perf_counter()
+    algorithm = resolve_algorithm(model, algorithm)
+    validate_alpha(params.alpha)
+    validate_backend(backend)
+    bi_side = model in BI_SIDE_MODELS
+
+    pruning_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=bi_side, technique=pruning
+    )
+    pruned = pruning_result.graph
+
+    shards: List[Shard] = []
+    resolved_strategy = NO_SHARDING
+    if pruned.num_upper > 0 and pruned.num_lower > 0:
+        vertex_sets, resolved_strategy = decompose(
+            pruned, params.alpha, strategy=strategy if shard else NO_SHARDING
+        )
+        non_trivial = [sets for sets in vertex_sets if sets[0] and sets[1]]
+        if len(non_trivial) <= 1:
+            # A single shard enumerates identically on the whole pruned
+            # graph (vertices outside it are isolated and can never join a
+            # biclique), so skip the induced-subgraph copy entirely.
+            shard_graphs = [pruned] if non_trivial else []
+        else:
+            shard_graphs = [
+                pruned.induced_subgraph(uppers, lowers) for uppers, lowers in non_trivial
+            ]
+        # Largest shards first: better load balancing under a process pool.
+        shard_graphs.sort(
+            key=lambda g: (-g.num_edges, -g.num_vertices, g.lower_vertices()[:1])
+        )
+        shards = [Shard(index, g) for index, g in enumerate(shard_graphs)]
+
+    return ExecutionPlan(
+        model=model,
+        algorithm=algorithm,
+        params=params,
+        ordering=ordering,
+        pruning=pruning,
+        backend=backend,
+        source_graph=graph,
+        pruning_result=pruning_result,
+        shards=shards,
+        strategy=resolved_strategy,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
+        plan_seconds=time.perf_counter() - started,
+    )

@@ -26,11 +26,13 @@ from __future__ import annotations
 import contextlib
 import sys
 import time
-from typing import Callable, FrozenSet, Iterable, Iterator, List
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.enumeration.ordering import _order
+from repro.core.fair_sets import count_vector, count_vector_from_mask
 from repro.core.models import EnumerationStats
 from repro.core.pruning.cfcore import PruningResult
+from repro.graph.attributes import AttributeValue
 from repro.graph.bitset import BitsetGraph, popcount
 from repro.graph.bipartite import AttributedBipartiteGraph
 
@@ -78,6 +80,12 @@ class AdjacencyView:
     common_lower_ids:
         Iterable of upper vertex ids -> frozenset of common lower
         neighbour ids (full lower side for empty input).
+    lower_count_vector / upper_count_vector:
+        ``(iterable of vertex ids, domain) -> {value: count}`` count vectors
+        for the fairness predicates.  On the bitset backend the counts are
+        word-parallel popcounts against the per-attribute-value masks of the
+        :class:`~repro.graph.bitset.BitsetGraph`; the frozenset backend
+        counts attribute lookups vertex by vertex.
     bitset:
         The underlying :class:`~repro.graph.bitset.BitsetGraph` of the
         bitset backend (``None`` for the frozenset backend); specialised
@@ -97,6 +105,8 @@ class AdjacencyView:
         "upper_set_of_ids",
         "common_upper",
         "common_lower_ids",
+        "lower_count_vector",
+        "upper_count_vector",
         "bitset",
     )
 
@@ -114,6 +124,8 @@ class AdjacencyView:
         upper_set_of_ids: Callable[[Iterable[int]], object],
         common_upper: Callable[[Iterable[int]], object],
         common_lower_ids: Callable[[Iterable[int]], FrozenSet[int]],
+        lower_count_vector: Callable[[Iterable[int], Sequence[AttributeValue]], dict],
+        upper_count_vector: Callable[[Iterable[int], Sequence[AttributeValue]], dict],
         bitset: "BitsetGraph | None" = None,
     ):
         self.backend = backend
@@ -128,6 +140,8 @@ class AdjacencyView:
         self.upper_set_of_ids = upper_set_of_ids
         self.common_upper = common_upper
         self.common_lower_ids = common_lower_ids
+        self.lower_count_vector = lower_count_vector
+        self.upper_count_vector = upper_count_vector
         self.bitset = bitset
 
     def ordered_handles(self, ordering: str) -> List[int]:
@@ -164,12 +178,20 @@ def _make_frozenset_view(graph: AttributedBipartiteGraph) -> AdjacencyView:
         upper_set_of_ids=frozenset,
         common_upper=graph.common_upper_neighbors,
         common_lower_ids=graph.common_lower_neighbors,
+        lower_count_vector=lambda vertices, domain: count_vector(
+            vertices, graph.lower_attribute, domain
+        ),
+        upper_count_vector=lambda vertices, domain: count_vector(
+            vertices, graph.upper_attribute, domain
+        ),
     )
 
 
 def _make_bitset_view(graph: AttributedBipartiteGraph) -> AdjacencyView:
     bitset = BitsetGraph(graph)
     degrees = bitset.lower_degrees()
+    lower_value_masks = bitset.lower_attribute_masks()
+    upper_value_masks = bitset.upper_attribute_masks()
     return AdjacencyView(
         backend=BITSET_BACKEND,
         handles=list(range(len(bitset.lower_ids))),
@@ -187,6 +209,12 @@ def _make_bitset_view(graph: AttributedBipartiteGraph) -> AdjacencyView:
         common_lower_ids=lambda uppers, b=bitset: b.lower_ids_of_mask(
             b.common_lower_mask(uppers)
         ),
+        lower_count_vector=lambda vertices, domain, b=bitset, m=lower_value_masks: (
+            count_vector_from_mask(b.lower_mask_of_ids(vertices), m, domain)
+        ),
+        upper_count_vector=lambda vertices, domain, b=bitset, m=upper_value_masks: (
+            count_vector_from_mask(b.upper_mask_of_ids(vertices), m, domain)
+        ),
         bitset=bitset,
     )
 
@@ -199,6 +227,60 @@ def make_adjacency_view(
     if backend == BITSET_BACKEND:
         return _make_bitset_view(graph)
     return _make_frozenset_view(graph)
+
+
+class ShardSubstrate:
+    """Pre-pruned search input of one execution-engine shard.
+
+    Bundles an already-pruned graph (a whole pruned graph or one shard of
+    it), its :class:`AdjacencyView` and the attribute domains the fairness
+    predicates must range over.  The domains are the **source** graph's: a
+    shard may lose attribute values entirely during pruning or
+    decomposition, but fairness is always judged against every value of the
+    original input -- a shard whose lower side misses a value simply admits
+    no fair set.
+
+    The ``*_search`` functions of the enumeration modules consume a
+    substrate instead of a raw graph; they perform **no pruning** of their
+    own, which is what lets the engine prune once and fan the shards out.
+    """
+
+    __slots__ = ("graph", "view", "backend", "lower_domain", "upper_domain")
+
+    def __init__(
+        self,
+        graph: AttributedBipartiteGraph,
+        view: AdjacencyView,
+        backend: str,
+        lower_domain: Sequence[AttributeValue],
+        upper_domain: Sequence[AttributeValue],
+    ):
+        self.graph = graph
+        self.view = view
+        self.backend = backend
+        self.lower_domain = tuple(lower_domain)
+        self.upper_domain = tuple(upper_domain)
+
+
+def make_substrate(
+    graph: AttributedBipartiteGraph,
+    backend: str = DEFAULT_BACKEND,
+    lower_domain: Optional[Sequence[AttributeValue]] = None,
+    upper_domain: Optional[Sequence[AttributeValue]] = None,
+) -> ShardSubstrate:
+    """Build the :class:`ShardSubstrate` of an (already pruned) ``graph``.
+
+    The domains default to the graph's own; shard builders pass the source
+    graph's domains explicitly (see :class:`ShardSubstrate`).
+    """
+    view = make_adjacency_view(graph, backend)
+    return ShardSubstrate(
+        graph,
+        view,
+        backend,
+        graph.lower_attribute_domain if lower_domain is None else lower_domain,
+        graph.upper_attribute_domain if upper_domain is None else upper_domain,
+    )
 
 
 @contextlib.contextmanager

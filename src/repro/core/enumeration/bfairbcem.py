@@ -17,31 +17,107 @@ algorithm therefore
 Both emitted-pair conditions together are exactly the maximality condition
 of Definition 4, and because a result's lower side determines the candidate
 that produced it, every bi-side fair biclique is emitted exactly once.
+
+Layering: :func:`pair_bi_side_candidates` implements step 3 on a pre-built
+substrate, :func:`bfair_bcem_search` chains the substrate-level single-side
+search with the pairing (used per shard by the staged execution engine --
+the inner single-side pruning is skipped there, which is lossless), and the
+``bfair_bcem`` / ``bfair_bcem_pp`` entry points keep the original
+self-contained prune-then-search behaviour.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Optional
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
+    ShardSubstrate,
     Timer,
-    make_adjacency_view,
     make_stats,
+    make_substrate,
     validate_alpha,
 )
-from repro.core.enumeration.fairbcem import fair_bcem
-from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.enumeration.fairbcem import fair_bcem, fair_bcem_search
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp, fair_bcem_pp_search
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import (
-    count_vector,
     enumerate_maximal_fair_subsets,
     is_maximal_fair_subset,
     maximal_fair_count_vector,
 )
-from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats, FairnessParams
 from repro.core.pruning.cfcore import prune_for_model
 from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def pair_bi_side_candidates(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    stats: EnumerationStats,
+    single_side_bicliques: Iterable[Biclique],
+) -> List[Biclique]:
+    """Step 3 of Algorithm 9: derive bi-side results from SSFBC candidates.
+
+    For every single-side fair biclique, every maximal fair subset of its
+    upper side is paired with the candidate's lower side and kept when that
+    lower side is a maximal fair subset of the subset's common lower
+    neighbourhood.  Upper-side count vectors come from the substrate view
+    (word-parallel popcounts on the bitset backend).
+    """
+    alpha, beta, delta = params.alpha, params.beta, params.delta
+    upper_domain = substrate.upper_domain
+    lower_domain = substrate.lower_domain
+    view = substrate.view
+    common_lower_ids = view.common_lower_ids
+    upper_counts_of = view.upper_count_vector
+    attribute_upper = substrate.graph.upper_attribute
+    attribute_lower = substrate.graph.lower_attribute
+
+    results: List[Biclique] = []
+    for candidate in single_side_bicliques:
+        upper_side, lower_side = candidate.upper, candidate.lower
+        upper_counts = upper_counts_of(upper_side, upper_domain)
+        if maximal_fair_count_vector(upper_counts, upper_domain, alpha, delta) is None:
+            continue
+        for fair_upper in enumerate_maximal_fair_subsets(
+            upper_side, attribute_upper, upper_domain, alpha, delta
+        ):
+            stats.candidates_checked += 1
+            reachable_lower = common_lower_ids(fair_upper)
+            if is_maximal_fair_subset(
+                lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta
+            ):
+                results.append(Biclique(fair_upper, lower_side))
+    return results
+
+
+def bfair_bcem_search(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    stats: Optional[EnumerationStats] = None,
+    use_plus_plus: bool = True,
+    search_pruning: bool = True,
+) -> List[Biclique]:
+    """Run ``BFairBCEM``/``BFairBCEM++`` on a pre-pruned substrate.
+
+    Unlike the entry points, the single-side candidate enumeration runs
+    directly on the substrate without re-applying the single-side pruning;
+    the pruning is lossless, so the returned biclique set is unchanged.
+    """
+    stats = stats if stats is not None else EnumerationStats(
+        algorithm="BFairBCEM++" if use_plus_plus else "BFairBCEM"
+    )
+    if use_plus_plus:
+        single_side = fair_bcem_pp_search(substrate, params, ordering=ordering, stats=stats)
+    else:
+        single_side = fair_bcem_search(
+            substrate, params, ordering=ordering, search_pruning=search_pruning, stats=stats
+        )
+    if not single_side:
+        return []
+    return pair_bi_side_candidates(substrate, params, stats, single_side)
 
 
 def _bi_side_enumerate(
@@ -55,11 +131,10 @@ def _bi_side_enumerate(
 ) -> EnumerationResult:
     validate_alpha(params.alpha)
     timer = Timer()
-    alpha, beta, delta = params.alpha, params.beta, params.delta
-    upper_domain = graph.upper_attribute_domain
-    lower_domain = graph.lower_attribute_domain
 
-    prune_result = prune_for_model(graph, alpha, beta, bi_side=True, technique=pruning)
+    prune_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=True, technique=pruning
+    )
     pruned = prune_result.graph
     algorithm_name = "BFairBCEM++" if use_plus_plus else ("BFairBCEM" if search_pruning else "BNSF")
     stats = make_stats(algorithm_name, graph, prune_result)
@@ -91,25 +166,13 @@ def _bi_side_enumerate(
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
-    view = make_adjacency_view(pruned, backend)
-    common_lower_ids = view.common_lower_ids
-    attribute_upper = pruned.upper_attribute
-    attribute_lower = pruned.lower_attribute
-    for candidate in single_side.bicliques:
-        upper_side, lower_side = candidate.upper, candidate.lower
-        upper_counts = count_vector(upper_side, attribute_upper, upper_domain)
-        if maximal_fair_count_vector(upper_counts, upper_domain, alpha, delta) is None:
-            continue
-        for fair_upper in enumerate_maximal_fair_subsets(
-            upper_side, attribute_upper, upper_domain, alpha, delta
-        ):
-            stats.candidates_checked += 1
-            reachable_lower = common_lower_ids(fair_upper)
-            if is_maximal_fair_subset(
-                lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta
-            ):
-                results.append(Biclique(fair_upper, lower_side))
-
+    substrate = make_substrate(
+        pruned,
+        backend,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
+    )
+    results = pair_bi_side_candidates(substrate, params, stats, single_side.bicliques)
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)
 

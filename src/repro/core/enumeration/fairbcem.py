@@ -22,75 +22,55 @@ so the intersection-heavy bookkeeping executes on dense bitmasks by default
 (``backend="bitset"``) with the original frozenset algebra available as the
 reference path (``backend="frozenset"``); both backends visit candidates in
 the same order and return the identical biclique set.
+
+The module is split in two layers for the staged execution engine
+(:mod:`repro.core.engine`): :func:`fair_bcem_search` runs the branch and
+bound on a pre-pruned :class:`~repro.core.enumeration._common.ShardSubstrate`
+(no pruning of its own), while :func:`fair_bcem` remains the self-contained
+prune-then-search entry point.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
+    ShardSubstrate,
     Timer,
-    make_adjacency_view,
     make_stats,
+    make_substrate,
     recursion_limit,
     validate_alpha,
 )
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import is_fair_counts, is_maximal_fair_subset
-from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats, FairnessParams
 from repro.core.pruning.cfcore import prune_for_model
 from repro.graph.bipartite import AttributedBipartiteGraph
 
 
-def fair_bcem(
-    graph: AttributedBipartiteGraph,
+def fair_bcem_search(
+    substrate: ShardSubstrate,
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
-    pruning: str = "colorful",
     search_pruning: bool = True,
-    backend: str = DEFAULT_BACKEND,
-) -> EnumerationResult:
-    """Enumerate all single-side fair bicliques with ``FairBCEM``.
+    stats: Optional[EnumerationStats] = None,
+) -> List[Biclique]:
+    """Run the ``FairBCEM`` branch and bound on a pre-pruned substrate.
 
-    Parameters
-    ----------
-    graph:
-        The attributed bipartite graph; the lower side is the fair side.
-    params:
-        ``alpha`` (minimum upper-side size), ``beta`` (per-value lower-side
-        minimum) and ``delta`` (maximum per-value count difference).
-        ``theta`` is ignored; use the proportional algorithms for the
-        PSSFBC model.
-    ordering:
-        Candidate selection ordering (``"degree"`` for DegOrd, ``"id"`` for
-        IDOrd).
-    pruning:
-        Graph-reduction technique: ``"colorful"`` (CFCore, the default),
-        ``"core"`` (FCore only) or ``"none"``.
-    search_pruning:
-        When False the branch-and-bound keeps only the bookkeeping needed
-        for correctness and drops Observations 2 and 5, which yields the
-        ``NSF`` baseline of the paper's experiments.
-    backend:
-        Adjacency representation of the search: ``"bitset"`` (default) or
-        ``"frozenset"``.
+    The substrate's graph is searched as-is -- pruning is the caller's job
+    (:func:`fair_bcem` or the execution engine's planning stage).  Search
+    counters accumulate into ``stats`` when given.
     """
-    validate_alpha(params.alpha)
-    timer = Timer()
-    domain = graph.lower_attribute_domain
+    stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEM")
+    domain = substrate.lower_domain
     alpha, beta, delta = params.alpha, params.beta, params.delta
 
-    prune_result = prune_for_model(graph, alpha, beta, bi_side=False, technique=pruning)
-    pruned = prune_result.graph
-    stats = make_stats("FairBCEM" if search_pruning else "NSF", graph, prune_result)
-
     results: List[Biclique] = []
-    if pruned.num_lower == 0 or pruned.num_upper == 0:
-        stats.elapsed_seconds = timer.elapsed()
-        return EnumerationResult(results, stats)
-
-    view = make_adjacency_view(pruned, backend)
+    view = substrate.view
+    if not view.handles or not view.full_upper:
+        return results
     adjacency = view.adj
     size = view.set_size
     attribute_of = view.attribute_of
@@ -182,6 +162,63 @@ def fair_bcem(
     initial_counts = {a: 0 for a in domain}
     with recursion_limit(len(view.handles) + 1000):
         backtrack(view.full_upper, frozenset(), initial_counts, initial_candidates, [])
+    return results
 
+
+def fair_bcem(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    search_pruning: bool = True,
+    backend: str = DEFAULT_BACKEND,
+) -> EnumerationResult:
+    """Enumerate all single-side fair bicliques with ``FairBCEM``.
+
+    Parameters
+    ----------
+    graph:
+        The attributed bipartite graph; the lower side is the fair side.
+    params:
+        ``alpha`` (minimum upper-side size), ``beta`` (per-value lower-side
+        minimum) and ``delta`` (maximum per-value count difference).
+        ``theta`` is ignored; use the proportional algorithms for the
+        PSSFBC model.
+    ordering:
+        Candidate selection ordering (``"degree"`` for DegOrd, ``"id"`` for
+        IDOrd).
+    pruning:
+        Graph-reduction technique: ``"colorful"`` (CFCore, the default),
+        ``"core"`` (FCore only) or ``"none"``.
+    search_pruning:
+        When False the branch-and-bound keeps only the bookkeeping needed
+        for correctness and drops Observations 2 and 5, which yields the
+        ``NSF`` baseline of the paper's experiments.
+    backend:
+        Adjacency representation of the search: ``"bitset"`` (default) or
+        ``"frozenset"``.
+    """
+    validate_alpha(params.alpha)
+    timer = Timer()
+
+    prune_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=False, technique=pruning
+    )
+    pruned = prune_result.graph
+    stats = make_stats("FairBCEM" if search_pruning else "NSF", graph, prune_result)
+
+    if pruned.num_lower == 0 or pruned.num_upper == 0:
+        stats.elapsed_seconds = timer.elapsed()
+        return EnumerationResult([], stats)
+
+    substrate = make_substrate(
+        pruned,
+        backend,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
+    )
+    results = fair_bcem_search(
+        substrate, params, ordering=ordering, search_pruning=search_pruning, stats=stats
+    )
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)

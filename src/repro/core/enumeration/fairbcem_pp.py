@@ -17,29 +17,89 @@ subset, the improved algorithm
 
 Because every single-side fair biclique's upper side is the upper side of
 exactly one maximal biclique, each result is produced exactly once.
+
+:func:`fair_bcem_pp_search` is the pruning-free layer that runs on a
+pre-pruned :class:`~repro.core.enumeration._common.ShardSubstrate` (used by
+the staged execution engine); :func:`fair_bcem_pp` is the self-contained
+prune-then-search entry point.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
+    ShardSubstrate,
     Timer,
-    make_adjacency_view,
     make_stats,
+    make_substrate,
     validate_alpha,
 )
 from repro.core.enumeration.mbea import enumerate_maximal_bicliques
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import (
-    count_vector,
     enumerate_maximal_fair_subsets,
     is_fair_counts,
 )
-from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats, FairnessParams
 from repro.core.pruning.cfcore import prune_for_model
 from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def fair_bcem_pp_search(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    stats: Optional[EnumerationStats] = None,
+) -> List[Biclique]:
+    """Run ``FairBCEM++`` on a pre-pruned substrate (no pruning of its own).
+
+    Per-attribute closure counts are taken from the substrate view's count
+    vectors, which on the bitset backend are word-parallel popcounts against
+    the per-value masks of the :class:`~repro.graph.bitset.BitsetGraph`.
+    """
+    stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEM++")
+    domain = substrate.lower_domain
+    alpha, beta, delta = params.alpha, params.beta, params.delta
+
+    results: List[Biclique] = []
+    view = substrate.view
+    if not view.handles or not view.full_upper:
+        return results
+    maximal_bicliques = enumerate_maximal_bicliques(
+        substrate.graph,
+        min_upper_size=alpha,
+        min_lower_size=max(1, beta * len(domain)),
+        lower_value_minimums={a: beta for a in domain},
+        ordering=ordering,
+        stats=stats,
+        view=view,
+    )
+    attribute_of = substrate.graph.lower_attribute
+    common_upper = view.common_upper
+    upper_set_of_ids = view.upper_set_of_ids
+    lower_counts_of = view.lower_count_vector
+
+    for candidate in maximal_bicliques:
+        stats.maximal_bicliques_considered += 1
+        upper, lower_closure = candidate.upper, candidate.lower
+        closure_counts = lower_counts_of(lower_closure, domain)
+        if any(closure_counts.get(a, 0) < beta for a in domain):
+            continue
+        if is_fair_counts(closure_counts, domain, beta, delta):
+            # The whole closure is fair: it is the unique maximal fair
+            # subset of itself, so (upper, closure) is a result.
+            results.append(Biclique(upper, lower_closure))
+            continue
+        upper_set = upper_set_of_ids(upper)
+        for fair_subset in enumerate_maximal_fair_subsets(
+            lower_closure, attribute_of, domain, beta, delta
+        ):
+            stats.candidates_checked += 1
+            if common_upper(fair_subset) == upper_set:
+                results.append(Biclique(upper, fair_subset))
+    return results
 
 
 def fair_bcem_pp(
@@ -56,50 +116,23 @@ def fair_bcem_pp(
     """
     validate_alpha(params.alpha)
     timer = Timer()
-    domain = graph.lower_attribute_domain
-    alpha, beta, delta = params.alpha, params.beta, params.delta
 
-    prune_result = prune_for_model(graph, alpha, beta, bi_side=False, technique=pruning)
+    prune_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=False, technique=pruning
+    )
     pruned = prune_result.graph
     stats = make_stats("FairBCEM++", graph, prune_result)
 
-    results: List[Biclique] = []
     if pruned.num_upper == 0 or pruned.num_lower == 0:
         stats.elapsed_seconds = timer.elapsed()
-        return EnumerationResult(results, stats)
+        return EnumerationResult([], stats)
 
-    view = make_adjacency_view(pruned, backend)
-    maximal_bicliques = enumerate_maximal_bicliques(
+    substrate = make_substrate(
         pruned,
-        min_upper_size=alpha,
-        min_lower_size=max(1, beta * len(domain)),
-        lower_value_minimums={a: beta for a in domain},
-        ordering=ordering,
-        stats=stats,
-        view=view,
+        backend,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
     )
-    attribute_of = pruned.lower_attribute
-    common_upper = view.common_upper
-    upper_set_of_ids = view.upper_set_of_ids
-
-    for candidate in maximal_bicliques:
-        stats.maximal_bicliques_considered += 1
-        upper, lower_closure = candidate.upper, candidate.lower
-        closure_counts = count_vector(lower_closure, attribute_of, domain)
-        if any(closure_counts.get(a, 0) < beta for a in domain):
-            continue
-        if is_fair_counts(closure_counts, domain, beta, delta):
-            # The whole closure is fair: it is the unique maximal fair
-            # subset of itself, so (upper, closure) is a result.
-            results.append(Biclique(upper, lower_closure))
-            continue
-        upper_set = upper_set_of_ids(upper)
-        for fair_subset in enumerate_maximal_fair_subsets(
-            lower_closure, attribute_of, domain, beta, delta
-        ):
-            stats.candidates_checked += 1
-            if common_upper(fair_subset) == upper_set:
-                results.append(Biclique(upper, fair_subset))
-
+    results = fair_bcem_pp_search(substrate, params, ordering=ordering, stats=stats)
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)

@@ -14,30 +14,131 @@ for the proportional variant:
 
 The same structural arguments as for the non-proportional algorithms give
 soundness, completeness and non-redundancy (see DESIGN.md §6).
+
+Like the non-proportional modules, each algorithm is split into a
+substrate-level ``*_search`` function that consumes a pre-pruned
+:class:`~repro.core.enumeration._common.ShardSubstrate` (used per shard by
+the staged execution engine) and a self-contained prune-then-search entry
+point.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Optional
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
+    ShardSubstrate,
     Timer,
-    make_adjacency_view,
     make_stats,
+    make_substrate,
     validate_alpha,
 )
 from repro.core.enumeration.mbea import enumerate_maximal_bicliques
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.fair_sets import (
-    count_vector,
     enumerate_maximal_proportion_fair_subsets,
     is_maximal_proportion_fair_subset,
     is_proportion_fair_counts,
 )
-from repro.core.models import Biclique, EnumerationResult, FairnessParams
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats, FairnessParams
 from repro.core.pruning.cfcore import prune_for_model
 from repro.graph.bipartite import AttributedBipartiteGraph
+
+
+def fair_bcem_pro_pp_search(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    stats: Optional[EnumerationStats] = None,
+) -> List[Biclique]:
+    """Run ``FairBCEMPro++`` on a pre-pruned substrate (no pruning here)."""
+    stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEMPro++")
+    domain = substrate.lower_domain
+    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
+
+    results: List[Biclique] = []
+    view = substrate.view
+    if not view.handles or not view.full_upper:
+        return results
+    maximal_bicliques = enumerate_maximal_bicliques(
+        substrate.graph,
+        min_upper_size=alpha,
+        min_lower_size=max(1, beta * len(domain)),
+        lower_value_minimums={a: beta for a in domain},
+        ordering=ordering,
+        stats=stats,
+        view=view,
+    )
+    attribute_of = substrate.graph.lower_attribute
+    common_upper = view.common_upper
+    upper_set_of_ids = view.upper_set_of_ids
+    lower_counts_of = view.lower_count_vector
+
+    for candidate in maximal_bicliques:
+        stats.maximal_bicliques_considered += 1
+        upper, closure = candidate.upper, candidate.lower
+        closure_counts = lower_counts_of(closure, domain)
+        if any(closure_counts.get(a, 0) < beta for a in domain):
+            continue
+        if is_proportion_fair_counts(closure_counts, domain, beta, delta, theta):
+            results.append(Biclique(upper, closure))
+            continue
+        upper_set = upper_set_of_ids(upper)
+        for fair_subset in enumerate_maximal_proportion_fair_subsets(
+            closure, attribute_of, domain, beta, delta, theta
+        ):
+            stats.candidates_checked += 1
+            if common_upper(fair_subset) == upper_set:
+                results.append(Biclique(upper, fair_subset))
+    return results
+
+
+def pair_proportional_bi_side(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    stats: EnumerationStats,
+    single_side_bicliques: Iterable[Biclique],
+) -> List[Biclique]:
+    """Derive PBSFBC results from proportional single-side candidates."""
+    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
+    upper_domain = substrate.upper_domain
+    lower_domain = substrate.lower_domain
+    common_lower_ids = substrate.view.common_lower_ids
+    attribute_upper = substrate.graph.upper_attribute
+    attribute_lower = substrate.graph.lower_attribute
+
+    results: List[Biclique] = []
+    for candidate in single_side_bicliques:
+        upper_side, lower_side = candidate.upper, candidate.lower
+        for fair_upper in enumerate_maximal_proportion_fair_subsets(
+            upper_side, attribute_upper, upper_domain, alpha, delta, theta
+        ):
+            stats.candidates_checked += 1
+            reachable_lower = common_lower_ids(fair_upper)
+            if is_maximal_proportion_fair_subset(
+                lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta, theta
+            ):
+                results.append(Biclique(fair_upper, lower_side))
+    return results
+
+
+def bfair_bcem_pro_pp_search(
+    substrate: ShardSubstrate,
+    params: FairnessParams,
+    ordering: str = DEGREE_ORDER,
+    stats: Optional[EnumerationStats] = None,
+) -> List[Biclique]:
+    """Run ``BFairBCEMPro++`` on a pre-pruned substrate.
+
+    The single-side candidate enumeration runs directly on the substrate
+    (no inner re-pruning -- lossless, identical biclique set).
+    """
+    stats = stats if stats is not None else EnumerationStats(algorithm="BFairBCEMPro++")
+    single_side = fair_bcem_pro_pp_search(substrate, params, ordering=ordering, stats=stats)
+    if not single_side:
+        return []
+    return pair_proportional_bi_side(substrate, params, stats, single_side)
 
 
 def fair_bcem_pro_pp(
@@ -54,49 +155,24 @@ def fair_bcem_pro_pp(
     """
     validate_alpha(params.alpha)
     timer = Timer()
-    domain = graph.lower_attribute_domain
-    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
 
-    prune_result = prune_for_model(graph, alpha, beta, bi_side=False, technique=pruning)
+    prune_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=False, technique=pruning
+    )
     pruned = prune_result.graph
     stats = make_stats("FairBCEMPro++", graph, prune_result)
 
-    results: List[Biclique] = []
     if pruned.num_upper == 0 or pruned.num_lower == 0:
         stats.elapsed_seconds = timer.elapsed()
-        return EnumerationResult(results, stats)
+        return EnumerationResult([], stats)
 
-    view = make_adjacency_view(pruned, backend)
-    maximal_bicliques = enumerate_maximal_bicliques(
+    substrate = make_substrate(
         pruned,
-        min_upper_size=alpha,
-        min_lower_size=max(1, beta * len(domain)),
-        lower_value_minimums={a: beta for a in domain},
-        ordering=ordering,
-        stats=stats,
-        view=view,
+        backend,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
     )
-    attribute_of = pruned.lower_attribute
-    common_upper = view.common_upper
-    upper_set_of_ids = view.upper_set_of_ids
-
-    for candidate in maximal_bicliques:
-        stats.maximal_bicliques_considered += 1
-        upper, closure = candidate.upper, candidate.lower
-        closure_counts = count_vector(closure, attribute_of, domain)
-        if any(closure_counts.get(a, 0) < beta for a in domain):
-            continue
-        if is_proportion_fair_counts(closure_counts, domain, beta, delta, theta):
-            results.append(Biclique(upper, closure))
-            continue
-        upper_set = upper_set_of_ids(upper)
-        for fair_subset in enumerate_maximal_proportion_fair_subsets(
-            closure, attribute_of, domain, beta, delta, theta
-        ):
-            stats.candidates_checked += 1
-            if common_upper(fair_subset) == upper_set:
-                results.append(Biclique(upper, fair_subset))
-
+    results = fair_bcem_pro_pp_search(substrate, params, ordering=ordering, stats=stats)
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)
 
@@ -111,11 +187,10 @@ def bfair_bcem_pro_pp(
     """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
     validate_alpha(params.alpha)
     timer = Timer()
-    alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
-    upper_domain = graph.upper_attribute_domain
-    lower_domain = graph.lower_attribute_domain
 
-    prune_result = prune_for_model(graph, alpha, beta, bi_side=True, technique=pruning)
+    prune_result = prune_for_model(
+        graph, params.alpha, params.beta, bi_side=True, technique=pruning
+    )
     pruned = prune_result.graph
     stats = make_stats("BFairBCEMPro++", graph, prune_result)
 
@@ -134,21 +209,12 @@ def bfair_bcem_pro_pp(
         stats.elapsed_seconds = timer.elapsed()
         return EnumerationResult(results, stats)
 
-    view = make_adjacency_view(pruned, backend)
-    common_lower_ids = view.common_lower_ids
-    attribute_upper = pruned.upper_attribute
-    attribute_lower = pruned.lower_attribute
-    for candidate in single_side.bicliques:
-        upper_side, lower_side = candidate.upper, candidate.lower
-        for fair_upper in enumerate_maximal_proportion_fair_subsets(
-            upper_side, attribute_upper, upper_domain, alpha, delta, theta
-        ):
-            stats.candidates_checked += 1
-            reachable_lower = common_lower_ids(fair_upper)
-            if is_maximal_proportion_fair_subset(
-                lower_side, reachable_lower, attribute_lower, lower_domain, beta, delta, theta
-            ):
-                results.append(Biclique(fair_upper, lower_side))
-
+    substrate = make_substrate(
+        pruned,
+        backend,
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
+    )
+    results = pair_proportional_bi_side(substrate, params, stats, single_side.bicliques)
     stats.elapsed_seconds = timer.elapsed()
     return EnumerationResult(results, stats)

@@ -23,7 +23,7 @@ Strategy
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from repro.core.fair_sets import (
     is_fair_set,

@@ -48,6 +48,7 @@ from typing import (
 )
 
 from repro.graph.attributes import AttributeValue
+from repro.graph.bitset import popcount
 
 AttributeOf = Callable[[int], AttributeValue]
 
@@ -86,6 +87,21 @@ def is_proportion_fair_counts(
     if total == 0:
         return True
     return all(counts.get(a, 0) / total >= theta for a in domain)
+
+
+def count_vector_from_mask(
+    mask: int,
+    attribute_masks: Mapping[AttributeValue, int],
+    domain: Sequence[AttributeValue],
+) -> Dict[AttributeValue, int]:
+    """Count vector of a dense bitmask via per-attribute-value popcounts.
+
+    ``attribute_masks`` maps each value to the bitmask of the vertices that
+    carry it (:meth:`~repro.graph.bitset.BitsetGraph.lower_attribute_masks`
+    and friends), so the count of a value inside ``mask`` is a single
+    word-parallel ``&`` + popcount instead of a per-vertex Python loop.
+    """
+    return {a: popcount(mask & attribute_masks.get(a, 0)) for a in domain}
 
 
 def count_vector(

@@ -177,6 +177,42 @@ class EnumerationStats:
         after = self.upper_vertices_after_pruning + self.lower_vertices_after_pruning
         return max(before - after, 0)
 
+    @classmethod
+    def merge(
+        cls, parts: Iterable["EnumerationStats"], algorithm: Optional[str] = None
+    ) -> "EnumerationStats":
+        """Aggregate per-shard statistics into a single record.
+
+        Additive counters (search nodes, candidates, timings, vertex
+        counts) are summed; ``peak_memory_bytes`` takes the maximum since
+        parallel shards occupy disjoint processes.  The merged
+        ``elapsed_seconds`` is the *total* per-shard time, and summed vertex
+        counts are only meaningful when the parts cover disjoint vertices;
+        the engine's merge stage overwrites both (wall-clock time and the
+        global pruning numbers) afterwards, and so should any caller whose
+        parts overlap (2-hop-cluster shards replicate upper vertices).
+        """
+        merged = cls(algorithm=algorithm or "")
+        for part in parts:
+            if not merged.algorithm:
+                merged.algorithm = part.algorithm
+            merged.elapsed_seconds += part.elapsed_seconds
+            merged.pruning_seconds += part.pruning_seconds
+            merged.search_nodes += part.search_nodes
+            merged.candidates_checked += part.candidates_checked
+            merged.maximal_bicliques_considered += part.maximal_bicliques_considered
+            merged.upper_vertices_after_pruning += part.upper_vertices_after_pruning
+            merged.lower_vertices_after_pruning += part.lower_vertices_after_pruning
+            merged.upper_vertices_before_pruning += part.upper_vertices_before_pruning
+            merged.lower_vertices_before_pruning += part.lower_vertices_before_pruning
+            merged.peak_memory_bytes = max(merged.peak_memory_bytes, part.peak_memory_bytes)
+        return merged
+
+    def __add__(self, other: object) -> "EnumerationStats":
+        if not isinstance(other, EnumerationStats):
+            return NotImplemented
+        return EnumerationStats.merge((self, other))
+
     def as_dict(self) -> Dict[str, float]:
         """Dictionary form used by the reporting layer."""
         return {

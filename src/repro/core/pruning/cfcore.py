@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Set, Tuple
+from typing import Set
 
 from repro.core.pruning.colorful_core import ego_colorful_core
 from repro.core.pruning.fcore import bi_fair_core, fair_core

@@ -27,7 +27,6 @@ from repro.graph.bipartite import AttributedBipartiteGraph
 from repro.graph.generators import (
     block_bipartite_graph,
     power_law_bipartite_graph,
-    random_bipartite_graph,
 )
 
 

@@ -19,6 +19,11 @@ from repro.graph.attributes import AttributeTable, count_by_value
 from repro.graph.bipartite import AttributedBipartiteGraph, BipartiteGraphError
 from repro.graph.bitset import BitsetGraph
 from repro.graph.coloring import greedy_coloring
+from repro.graph.components import (
+    connected_components,
+    decompose,
+    two_hop_lower_clusters,
+)
 from repro.graph.generators import (
     random_bipartite_graph,
     power_law_bipartite_graph,
@@ -40,9 +45,12 @@ __all__ = [
     "block_bipartite_graph",
     "build_bi_two_hop_graph",
     "build_two_hop_graph",
+    "connected_components",
     "count_by_value",
+    "decompose",
     "greedy_coloring",
     "planted_biclique_graph",
     "power_law_bipartite_graph",
     "random_bipartite_graph",
+    "two_hop_lower_clusters",
 ]

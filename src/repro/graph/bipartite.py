@@ -350,8 +350,8 @@ class AttributedBipartiteGraph:
             {u: self._upper_attrs[u] for u in upper_set},
             {v: self._lower_attrs[v] for v in lower_set},
             lower_vertices=lower_set,
-            upper_labels={u: l for u, l in self._upper_labels.items() if u in upper_set},
-            lower_labels={v: l for v, l in self._lower_labels.items() if v in lower_set},
+            upper_labels={u: label for u, label in self._upper_labels.items() if u in upper_set},
+            lower_labels={v: label for v, label in self._lower_labels.items() if v in lower_set},
         )
 
     def edge_sampled_subgraph(

@@ -1,0 +1,167 @@
+"""Decomposition of a (pruned) bipartite graph into independent shards.
+
+The staged execution engine (:mod:`repro.core.engine`) enumerates fair
+bicliques per *shard* -- a vertex-induced piece of the pruned graph chosen so
+that every fair biclique lies entirely inside exactly one shard.  Two
+decompositions provide that guarantee:
+
+* **Connected components** (:func:`connected_components`): a biclique is a
+  connected subgraph, so it can never straddle two components.  This is the
+  default and is exact for every model and parameter choice.
+* **2-hop clusters** (:func:`two_hop_lower_clusters`): the fallback when the
+  graph is one giant component.  Any two lower-side vertices of a fair
+  biclique share its whole upper side, i.e. at least ``alpha`` common
+  neighbours (every model requires ``|C(U)| >= alpha``), so the lower side of
+  a biclique induces a clique -- hence lies inside one connected component --
+  of the ``alpha``-threshold 2-hop projection graph (Algorithm 3 of the
+  paper).  Clusters partition the *lower* side; each shard additionally
+  carries the union of its lower vertices' neighbourhoods, so the common
+  upper neighbourhood of any lower set of the cluster is fully contained in
+  the shard and maximality checks see exactly the vertices they would see on
+  the whole graph (a vertex fully connected to a biclique's upper side shares
+  ``>= alpha`` neighbours with each of its lower vertices and therefore lives
+  in the same cluster).
+
+Upper vertices may be replicated across 2-hop cluster shards; lower vertices
+never are, and a result's lower side determines its shard, so merged results
+contain no duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.projection import build_two_hop_graph
+
+#: A shard described as its (upper vertex ids, lower vertex ids) pair.
+VertexSets = Tuple[FrozenSet[int], FrozenSet[int]]
+
+AUTO_STRATEGY = "auto"
+COMPONENTS_STRATEGY = "components"
+CLUSTER_STRATEGY = "cluster"
+NO_SHARDING = "none"
+KNOWN_STRATEGIES = (AUTO_STRATEGY, COMPONENTS_STRATEGY, CLUSTER_STRATEGY, NO_SHARDING)
+
+
+def connected_components(graph: AttributedBipartiteGraph) -> List[VertexSets]:
+    """Connected components of the bipartite graph as ``(upper, lower)`` sets.
+
+    Isolated vertices form singleton components with one empty side.  The
+    returned order is deterministic: components appear by their smallest
+    seed vertex (upper seeds in id order first, then isolated lower
+    vertices in id order).
+    """
+    seen_upper: set = set()
+    seen_lower: set = set()
+    components: List[VertexSets] = []
+    for seed in graph.upper_vertices():
+        if seed in seen_upper:
+            continue
+        uppers = {seed}
+        lowers: set = set()
+        frontier = [("u", seed)]
+        seen_upper.add(seed)
+        while frontier:
+            side, vertex = frontier.pop()
+            if side == "u":
+                for v in graph.neighbors_of_upper(vertex):
+                    if v not in seen_lower:
+                        seen_lower.add(v)
+                        lowers.add(v)
+                        frontier.append(("v", v))
+            else:
+                for u in graph.neighbors_of_lower(vertex):
+                    if u not in seen_upper:
+                        seen_upper.add(u)
+                        uppers.add(u)
+                        frontier.append(("u", u))
+        components.append((frozenset(uppers), frozenset(lowers)))
+    for v in graph.lower_vertices():
+        if v not in seen_lower:
+            components.append((frozenset(), frozenset({v})))
+    return components
+
+
+def two_hop_lower_clusters(
+    graph: AttributedBipartiteGraph, alpha: int
+) -> List[VertexSets]:
+    """Shards from the connected components of the ``alpha`` 2-hop projection.
+
+    Lower vertices are partitioned by the connected components of the
+    projection graph in which two lower vertices are adjacent when they
+    share at least ``alpha`` common upper neighbours; each cluster's shard
+    carries the union of its members' neighbourhoods on the upper side.
+    Upper vertices with no neighbours appear in no shard -- they cannot
+    belong to any biclique with a non-empty lower side, and the enumeration
+    algorithms never report bicliques with an empty side.
+
+    Only valid when every enumerated biclique has an upper side of size at
+    least ``alpha`` (true for all of the paper's models since
+    ``alpha >= 1`` is enforced and bi-side models require ``alpha`` vertices
+    *per* upper attribute value).
+    """
+    if alpha < 1:
+        raise ValueError(f"2-hop clustering requires alpha >= 1, got {alpha}")
+    projection = build_two_hop_graph(graph, alpha)
+    seen: set = set()
+    clusters: List[VertexSets] = []
+    for seed in projection.vertices():
+        if seed in seen:
+            continue
+        seen.add(seed)
+        members = {seed}
+        frontier = [seed]
+        while frontier:
+            vertex = frontier.pop()
+            for neighbour in projection.neighbors(vertex):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    members.add(neighbour)
+                    frontier.append(neighbour)
+        uppers: set = set()
+        for v in members:
+            uppers.update(graph.neighbors_of_lower(v))
+        clusters.append((frozenset(uppers), frozenset(members)))
+    return clusters
+
+
+def decompose(
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    strategy: str = AUTO_STRATEGY,
+) -> Tuple[List[VertexSets], str]:
+    """Decompose ``graph`` into shard vertex sets.
+
+    Returns the shards together with the strategy that actually produced
+    them.  ``"auto"`` uses connected components and falls back to 2-hop
+    clustering when they yield at most one non-trivial shard (the giant
+    component case); ``"none"`` returns the whole graph as a single shard.
+    Shards with an empty side are retained here -- callers that only
+    enumerate bicliques with two non-empty sides may drop them.
+    """
+    if strategy not in KNOWN_STRATEGIES:
+        raise ValueError(
+            f"unknown sharding strategy {strategy!r}; expected one of {KNOWN_STRATEGIES}"
+        )
+    whole = [
+        (frozenset(graph.upper_vertices()), frozenset(graph.lower_vertices()))
+    ]
+    if strategy == NO_SHARDING or graph.num_upper == 0 or graph.num_lower == 0:
+        return whole, NO_SHARDING
+    if strategy == CLUSTER_STRATEGY:
+        return two_hop_lower_clusters(graph, alpha), CLUSTER_STRATEGY
+    components = connected_components(graph)
+    non_trivial = [c for c in components if c[0] and c[1]]
+    if strategy == COMPONENTS_STRATEGY or len(non_trivial) > 1:
+        return components, COMPONENTS_STRATEGY
+    if alpha < 2:
+        # The threshold-1 projection of a connected component is itself
+        # connected (consecutive lower vertices on an alternating path share
+        # an upper vertex), so attempting the fallback could never split the
+        # giant component -- skip the wedge enumeration outright.
+        return components, COMPONENTS_STRATEGY
+    clusters = two_hop_lower_clusters(graph, alpha)
+    if len(clusters) > 1:
+        return clusters, CLUSTER_STRATEGY
+    return components, COMPONENTS_STRATEGY

@@ -21,7 +21,7 @@ wedges (lower-upper-lower paths) exactly as the paper's pseudo-code does.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from repro.graph.bipartite import AttributedBipartiteGraph
 from repro.graph.unipartite import AttributedGraph

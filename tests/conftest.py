@@ -74,3 +74,31 @@ def paper_example_graph():
 def default_params():
     """Fairness parameters used by many tests."""
     return FairnessParams(alpha=2, beta=1, delta=1)
+
+
+def make_multi_component_graph(blocks, isolated=True, offset=100):
+    """Disjoint union of random bipartite blocks, ids offset per component.
+
+    ``blocks`` is an iterable of ``(num_upper, num_lower, probability,
+    seed)`` tuples, one per component; ``isolated=True`` additionally adds
+    one edge-less vertex to each side.  Used by the execution-engine tests
+    to build graphs with a known number of connected components.
+    """
+    from repro.graph.generators import random_bipartite_graph
+
+    edges = []
+    upper_attrs = {}
+    lower_attrs = {}
+    for component, (num_upper, num_lower, probability, seed) in enumerate(blocks):
+        shift = component * offset
+        block = random_bipartite_graph(num_upper, num_lower, probability, seed=seed)
+        for u, v in block.edges():
+            edges.append((u + shift, v + shift))
+        for u in block.upper_vertices():
+            upper_attrs[u + shift] = block.upper_attribute(u)
+        for v in block.lower_vertices():
+            lower_attrs[v + shift] = block.lower_attribute(v)
+    if isolated:
+        upper_attrs[offset * 90] = "a"
+        lower_attrs[offset * 90 + 1] = "b"
+    return make_graph(edges, upper_attrs, lower_attrs)

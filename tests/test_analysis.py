@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.metrics import Measurement, measure, speedup
+from repro.analysis.metrics import measure, speedup
 from repro.analysis.reporting import format_mapping, format_series, format_table
 from repro.analysis.sweep import sweep_edge_fraction, sweep_parameter, sweep_pruning
 from repro.core.enumeration.fairbcem import fair_bcem

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.pruning.cfcore import (
-    PruningResult,
     bi_colorful_fair_core,
     bi_fair_core_pruning,
     colorful_fair_core,

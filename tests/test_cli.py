@@ -123,3 +123,61 @@ def test_enumerate_limit_truncates_output(capsys):
     assert exit_code == 0
     output = capsys.readouterr().out
     assert "more)" in output
+
+
+def test_enumerate_with_jobs_matches_default(capsys):
+    arguments = [
+        "enumerate",
+        "--dataset", "dblp-small",
+        "--alpha", "2",
+        "--beta", "2",
+        "--count-only",
+    ]
+    assert main(arguments) == 0
+    baseline = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert main(arguments + ["--jobs", "2"]) == 0
+    engine_output = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert engine_output == baseline
+    assert main(arguments + ["--jobs", "2", "--no-shard"]) == 0
+    no_shard_output = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert no_shard_output == baseline
+
+
+def test_enumerate_parse_int_restores_integer_attributes(tmp_path, capsys):
+    graph = make_graph(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attrs={0: 1, 1: 2},
+        lower_attrs={0: 1, 1: 2},
+    )
+    edges = tmp_path / "g.edges"
+    upper = tmp_path / "g.up"
+    lower = tmp_path / "g.low"
+    save_graph(graph, edges, upper, lower)
+    arguments = [
+        "enumerate",
+        "--edges", str(edges),
+        "--upper-attrs", str(upper),
+        "--lower-attrs", str(lower),
+        "--alpha", "1",
+        "--beta", "1",
+        "--delta", "1",
+        "--count-only",
+    ]
+    assert main(arguments + ["--parse-int"]) == 0
+    assert "fair bicliques" in capsys.readouterr().out
+
+    # The flag restores integer-typed attribute values on load.
+    import argparse
+
+    from repro.cli import _load_input_graph
+
+    namespace = argparse.Namespace(
+        dataset=None, edges=str(edges), upper_attrs=str(upper),
+        lower_attrs=str(lower), seed=0, parse_int=True,
+    )
+    reloaded = _load_input_graph(namespace)
+    assert reloaded == graph
+    assert reloaded.upper_attribute(0) == 1
+
+    namespace.parse_int = False
+    assert _load_input_graph(namespace).upper_attribute(0) == "1"

@@ -1,7 +1,5 @@
 """Unit tests of the synthetic DBLP-like collaboration network builder."""
 
-import pytest
-
 from repro.datasets.dblp import build_collaboration_graph, seniority_mix
 
 

@@ -1,0 +1,270 @@
+"""Unit tests of the staged execution engine and its graph decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import make_graph, make_multi_component_graph
+
+from repro.api import enumerate_bsfbc, enumerate_ssfbc
+from repro.core.engine import execute, merge, plan, run
+from repro.core.enumeration.fairbcem_pp import fair_bcem_pp
+from repro.core.models import EnumerationStats, FairnessParams
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.components import (
+    CLUSTER_STRATEGY,
+    COMPONENTS_STRATEGY,
+    NO_SHARDING,
+    connected_components,
+    decompose,
+    two_hop_lower_clusters,
+)
+def multi_component_graph(num_components=3, side=5, probability=0.7, seed=0, isolated=True):
+    """Disjoint union of random blocks, ids offset by 100 per component."""
+    return make_multi_component_graph(
+        [(side, side, probability, seed * 101 + component) for component in range(num_components)],
+        isolated=isolated,
+    )
+
+
+def bridged_giant_component_graph():
+    """One connected graph whose alpha=2 2-hop projection splits in two.
+
+    Two complete 3x3 blocks share a single bridging upper vertex, so lower
+    vertices from different blocks have exactly one common neighbour.
+    """
+    edges = []
+    upper_attrs = {}
+    lower_attrs = {}
+    for block, offset in ((0, 0), (1, 10)):
+        for u in range(3):
+            upper_attrs[offset + u] = "a" if u % 2 == 0 else "b"
+            for v in range(3):
+                edges.append((offset + u, offset + v))
+        for v in range(3):
+            lower_attrs[offset + v] = "a" if v % 2 == 0 else "b"
+    bridge = 50
+    upper_attrs[bridge] = "a"
+    for v in (0, 1, 10, 11):
+        edges.append((bridge, v))
+    return make_graph(edges, upper_attrs, lower_attrs)
+
+
+# ----------------------------------------------------------------------
+# decomposition
+# ----------------------------------------------------------------------
+def test_connected_components_partitions_vertices():
+    graph = multi_component_graph(num_components=3)
+    components = connected_components(graph)
+    uppers = [u for c in components for u in c[0]]
+    lowers = [v for c in components for v in c[1]]
+    assert sorted(uppers) == list(graph.upper_vertices())
+    assert sorted(lowers) == list(graph.lower_vertices())
+    non_trivial = [c for c in components if c[0] and c[1]]
+    assert len(non_trivial) == 3
+    # Isolated vertices come back as singleton components with an empty side.
+    singletons = {c[0] | c[1] for c in components if not c[0] or not c[1]}
+    assert frozenset({9000}) in singletons
+    assert frozenset({9001}) in singletons
+
+
+def test_connected_components_respect_edges():
+    graph = multi_component_graph(num_components=2, isolated=False)
+    for uppers, lowers in connected_components(graph):
+        for u in uppers:
+            assert set(graph.neighbors_of_upper(u)) <= set(lowers)
+
+
+def test_two_hop_clusters_split_bridged_graph():
+    graph = bridged_giant_component_graph()
+    assert len([c for c in connected_components(graph) if c[0] and c[1]]) == 1
+    clusters = two_hop_lower_clusters(graph, alpha=2)
+    assert len(clusters) == 2
+    lowers = sorted(v for _, cluster in clusters for v in cluster)
+    assert lowers == list(graph.lower_vertices())
+    # The bridge vertex is adjacent to lowers of both clusters, so it is
+    # replicated on the upper side of both shards.
+    assert all(50 in uppers for uppers, _ in clusters)
+
+
+def test_decompose_auto_falls_back_to_clusters():
+    graph = bridged_giant_component_graph()
+    shards, strategy = decompose(graph, alpha=2, strategy="auto")
+    assert strategy == CLUSTER_STRATEGY
+    assert len(shards) == 2
+
+    multi = multi_component_graph(num_components=2, probability=0.9, isolated=False)
+    shards, strategy = decompose(multi, alpha=2, strategy="auto")
+    assert strategy == COMPONENTS_STRATEGY
+    assert len([s for s in shards if s[0] and s[1]]) == 2
+
+    shards, strategy = decompose(multi, alpha=2, strategy="none")
+    assert strategy == NO_SHARDING
+    assert len(shards) == 1
+
+
+def test_decompose_rejects_unknown_strategy():
+    graph = multi_component_graph(num_components=1, isolated=False)
+    with pytest.raises(ValueError):
+        decompose(graph, alpha=1, strategy="bogus")
+
+
+# ----------------------------------------------------------------------
+# stats merging
+# ----------------------------------------------------------------------
+def test_stats_merge_sums_counters_and_maxes_memory():
+    first = EnumerationStats(
+        algorithm="FairBCEM++",
+        elapsed_seconds=1.0,
+        search_nodes=10,
+        candidates_checked=3,
+        maximal_bicliques_considered=2,
+        upper_vertices_after_pruning=4,
+        lower_vertices_after_pruning=5,
+        peak_memory_bytes=100,
+    )
+    second = EnumerationStats(
+        algorithm="FairBCEM++",
+        elapsed_seconds=2.0,
+        search_nodes=7,
+        candidates_checked=1,
+        maximal_bicliques_considered=4,
+        upper_vertices_after_pruning=6,
+        lower_vertices_after_pruning=7,
+        peak_memory_bytes=50,
+    )
+    merged = first + second
+    assert merged.algorithm == "FairBCEM++"
+    assert merged.elapsed_seconds == pytest.approx(3.0)
+    assert merged.search_nodes == 17
+    assert merged.candidates_checked == 4
+    assert merged.maximal_bicliques_considered == 6
+    assert merged.upper_vertices_after_pruning == 10
+    assert merged.lower_vertices_after_pruning == 12
+    assert merged.peak_memory_bytes == 100
+    assert EnumerationStats.merge([], algorithm="x").algorithm == "x"
+
+
+# ----------------------------------------------------------------------
+# plan / execute / merge
+# ----------------------------------------------------------------------
+def test_plan_compacts_shards_and_keeps_global_domains():
+    graph = multi_component_graph(num_components=3)
+    params = FairnessParams(2, 1, 1)
+    execution_plan = plan(graph, params, model="ssfbc")
+    assert execution_plan.strategy == COMPONENTS_STRATEGY
+    assert execution_plan.num_shards == 3
+    assert execution_plan.lower_domain == graph.lower_attribute_domain
+    assert execution_plan.upper_domain == graph.upper_attribute_domain
+    # Shards are ordered largest-first for load balancing.
+    edge_counts = [shard.num_edges for shard in execution_plan.shards]
+    assert edge_counts == sorted(edge_counts, reverse=True)
+    # Each shard is a vertex-induced piece of the pruned graph.
+    pruned = execution_plan.pruning_result.graph
+    for shard in execution_plan.shards:
+        for u in shard.graph.upper_vertices():
+            assert shard.graph.neighbors_of_upper(u) == pruned.neighbors_of_upper(u)
+
+
+def test_plan_with_empty_pruned_graph_has_no_shards():
+    graph = multi_component_graph(num_components=2, side=3, probability=0.4)
+    params = FairnessParams(50, 50, 0)
+    execution_plan = plan(graph, params, model="ssfbc")
+    assert execution_plan.num_shards == 0
+    assert execute(execution_plan) == []
+    result = merge(execution_plan, [], elapsed_seconds=0.5)
+    assert len(result) == 0
+    assert result.stats.algorithm == "FairBCEM++"
+    assert result.stats.upper_vertices_before_pruning == graph.num_upper
+    assert result.stats.upper_vertices_after_pruning == 0
+    assert result.stats.elapsed_seconds == pytest.approx(0.5)
+
+
+def test_plan_rejects_unknown_model_and_algorithm():
+    graph = multi_component_graph(num_components=1, isolated=False)
+    params = FairnessParams(1, 1, 1)
+    with pytest.raises(ValueError):
+        plan(graph, params, model="nope")
+    with pytest.raises(ValueError):
+        plan(graph, params, model="ssfbc", algorithm="bfairbcem")
+
+
+def test_engine_run_matches_legacy_and_is_canonically_ordered():
+    graph = multi_component_graph(num_components=3)
+    params = FairnessParams(2, 1, 1)
+    legacy = fair_bcem_pp(graph, params)
+    for shard in (True, False):
+        result = run(graph, params, model="ssfbc", shard=shard)
+        assert result.as_set() == legacy.as_set()
+        assert [b.key for b in result.bicliques] == sorted(b.key for b in result.bicliques)
+    # Merged statistics carry the global pruning numbers.
+    result = run(graph, params, model="ssfbc")
+    assert result.stats.upper_vertices_before_pruning == graph.num_upper
+    assert result.stats.lower_vertices_before_pruning == graph.num_lower
+
+
+def test_engine_cluster_strategy_matches_legacy_on_giant_component():
+    graph = bridged_giant_component_graph()
+    params = FairnessParams(2, 1, 1)
+    legacy = fair_bcem_pp(graph, params, pruning="none")
+    execution_plan = plan(graph, params, model="ssfbc", pruning="none")
+    assert execution_plan.strategy == CLUSTER_STRATEGY
+    assert execution_plan.num_shards > 1
+    outcomes = execute(execution_plan)
+    result = merge(execution_plan, outcomes)
+    assert result.as_set() == legacy.as_set()
+
+
+def test_parallel_execution_matches_serial_on_four_components():
+    """Acceptance criterion: n_jobs=4 on a 4-component graph == n_jobs=1."""
+    graph = multi_component_graph(num_components=4, side=6, probability=0.6, seed=11)
+    params = FairnessParams(2, 1, 1)
+    serial = enumerate_ssfbc(graph, params, n_jobs=1, shard=True)
+    parallel = enumerate_ssfbc(graph, params, n_jobs=4)
+    assert [b.key for b in parallel.bicliques] == [b.key for b in serial.bicliques]
+    assert parallel.stats.search_nodes == serial.stats.search_nodes
+    assert parallel.stats.candidates_checked == serial.stats.candidates_checked
+    legacy = enumerate_ssfbc(graph, params)
+    assert parallel.as_set() == legacy.as_set()
+
+
+def test_api_default_path_bypasses_engine():
+    graph = multi_component_graph(num_components=2)
+    params = FairnessParams(2, 1, 1)
+    default = enumerate_ssfbc(graph, params)
+    legacy = fair_bcem_pp(graph, params)
+    assert [b.key for b in default.bicliques] == [b.key for b in legacy.bicliques]
+
+
+def test_api_bsfbc_engine_matches_legacy():
+    graph = multi_component_graph(num_components=3, seed=5)
+    params = FairnessParams(1, 1, 1)
+    legacy = enumerate_bsfbc(graph, params)
+    engine_result = enumerate_bsfbc(graph, params, n_jobs=2)
+    assert engine_result.as_set() == legacy.as_set()
+
+
+def test_engine_accepts_graph_without_fair_structure():
+    graph = AttributedBipartiteGraph.from_edges(
+        [(0, 0)], upper_attributes={0: "a"}, lower_attributes={0: "a"}
+    )
+    result = run(graph, FairnessParams(5, 5, 0), model="ssfbc")
+    assert len(result) == 0
+
+
+def test_engine_registry_agrees_with_api_registries():
+    """Adding an algorithm to one registry must not silently miss the other."""
+    from repro.api import BSFBC_ALGORITHMS, SSFBC_ALGORITHMS
+    from repro.core.engine import MODEL_ALGORITHMS
+
+    assert set(SSFBC_ALGORITHMS) == set(MODEL_ALGORITHMS["ssfbc"][1])
+    assert set(BSFBC_ALGORITHMS) == set(MODEL_ALGORITHMS["bsfbc"][1])
+    for model, (default, known) in MODEL_ALGORITHMS.items():
+        assert default in known
+
+
+def test_single_component_plan_reuses_pruned_graph():
+    """One non-trivial shard must not deep-copy the pruned graph."""
+    graph = multi_component_graph(num_components=1, probability=0.9, isolated=True)
+    execution_plan = plan(graph, FairnessParams(1, 1, 1), model="ssfbc", pruning="none")
+    assert execution_plan.num_shards == 1
+    assert execution_plan.shards[0].graph is execution_plan.pruning_result.graph

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.core.fair_sets import (
     combination_pro_count_vector,
     count_maximal_fair_subsets,

@@ -1,7 +1,5 @@
 """End-to-end checks on the Fig. 1 / Example 1 style graph of the paper."""
 
-import pytest
-
 from repro.core.enumeration.bfairbcem import bfair_bcem_pp
 from repro.core.enumeration.fairbcem import fair_bcem
 from repro.core.enumeration.fairbcem_pp import fair_bcem_pp

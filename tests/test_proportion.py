@@ -89,7 +89,6 @@ class TestMonotonicity:
     def test_larger_theta_never_increases_the_feasible_side_imbalance(self):
         """Raising theta only tightens the constraint set of each biclique."""
         graph = random_bipartite_graph(8, 8, 0.6, seed=83)
-        loose = fair_bcem_pro_pp(graph, FairnessParams(2, 1, 3, theta=0.3))
         tight = fair_bcem_pro_pp(graph, FairnessParams(2, 1, 3, theta=0.5))
         # every tight result is proportionally fair under the loose threshold
         params_loose = FairnessParams(2, 1, 3, theta=0.3)
