@@ -17,7 +17,7 @@ fairness-aware maximal bicliques back.
 
 Staged execution engine
 -----------------------
-Every ``enumerate_*`` function accepts two engine knobs:
+Every ``enumerate_*`` function accepts four engine knobs:
 
 ``n_jobs``
     ``1`` (the default) keeps the classic single-process call path.  Any
@@ -30,6 +30,17 @@ Every ``enumerate_*`` function accepts two engine knobs:
     ``None`` (default) shards exactly when the engine is used; ``True``
     forces the engine (sharded, even with ``n_jobs=1``); ``False`` keeps
     the pruned graph as a single shard.
+``branch_threshold``
+    Splits any shard with more top-level search branches than the threshold
+    into independent branch-level work units, so one giant shard no longer
+    pins a single worker.  Implies the engine.  The decomposition is exact:
+    results and statistics are identical to the unsplit run.
+``cache``
+    A :class:`~repro.core.engine.cache.ShardCache` (or a directory path for
+    a disk-backed one).  Shard outcomes are stored under content-addressed
+    fingerprints -- canonical edge set, attribute assignment and search
+    parameters -- so repeated sweeps reuse every shard they have seen
+    before.  Implies the engine.
 
 The engine returns the identical biclique set as the single-process path;
 only the result ordering (canonical) and the statistics aggregation differ.
@@ -37,9 +48,11 @@ only the result ordering (canonical) and the statistics aggregation differ.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Optional, Union
 
 from repro.core import engine
+from repro.core.engine.cache import ShardCache
 from repro.core.enumeration._common import DEFAULT_BACKEND, KNOWN_BACKENDS
 from repro.core.enumeration.bfairbcem import bfair_bcem, bfair_bcem_pp
 from repro.core.enumeration.fairbcem import fair_bcem
@@ -69,9 +82,24 @@ BSFBC_ALGORITHMS = {
 }
 
 
-def _use_engine(n_jobs: int, shard: Optional[bool]) -> bool:
+#: Type accepted by the public ``cache=`` knob: a shard cache instance, a
+#: directory path for a disk-backed one, or ``None`` (off).
+CacheLike = Union[ShardCache, str, os.PathLike, None]
+
+
+def _use_engine(
+    n_jobs: int,
+    shard: Optional[bool],
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
+) -> bool:
     """The engine handles every request except the classic default path."""
-    return shard is True or n_jobs != 1
+    return (
+        shard is True
+        or n_jobs != 1
+        or branch_threshold is not None
+        or cache is not None
+    )
 
 
 def _run_engine(
@@ -84,6 +112,8 @@ def _run_engine(
     backend: str,
     n_jobs: int,
     shard: Optional[bool],
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> EnumerationResult:
     return engine.run(
         graph,
@@ -95,6 +125,8 @@ def _run_engine(
         backend=backend,
         n_jobs=n_jobs,
         shard=shard is not False,
+        branch_threshold=branch_threshold,
+        cache=cache,
     )
 
 
@@ -107,6 +139,8 @@ def enumerate_ssfbc(
     backend: str = DEFAULT_BACKEND,
     n_jobs: int = 1,
     shard: Optional[bool] = None,
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> EnumerationResult:
     """Enumerate all single-side fair bicliques (SSFBC, Definition 3).
 
@@ -114,8 +148,9 @@ def enumerate_ssfbc(
     ``"fairbcem"`` or ``"nsf"``.  ``backend`` selects the adjacency
     representation of the search: ``"bitset"`` (dense integer bitmasks, the
     default and fastest) or ``"frozenset"`` (the pure-set reference path);
-    both return the identical biclique set.  ``n_jobs`` / ``shard`` engage
-    the staged execution engine (see the module docstring).
+    both return the identical biclique set.  ``n_jobs`` / ``shard`` /
+    ``branch_threshold`` / ``cache`` engage the staged execution engine
+    (see the module docstring).
     """
     try:
         function = SSFBC_ALGORITHMS[algorithm]
@@ -123,9 +158,19 @@ def enumerate_ssfbc(
         raise ValueError(
             f"unknown SSFBC algorithm {algorithm!r}; expected one of {sorted(SSFBC_ALGORITHMS)}"
         ) from None
-    if _use_engine(n_jobs, shard):
+    if _use_engine(n_jobs, shard, branch_threshold, cache):
         return _run_engine(
-            graph, params, "ssfbc", algorithm, ordering, pruning, backend, n_jobs, shard
+            graph,
+            params,
+            "ssfbc",
+            algorithm,
+            ordering,
+            pruning,
+            backend,
+            n_jobs,
+            shard,
+            branch_threshold,
+            cache,
         )
     return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
@@ -139,6 +184,8 @@ def enumerate_bsfbc(
     backend: str = DEFAULT_BACKEND,
     n_jobs: int = 1,
     shard: Optional[bool] = None,
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> EnumerationResult:
     """Enumerate all bi-side fair bicliques (BSFBC, Definition 4)."""
     try:
@@ -147,9 +194,19 @@ def enumerate_bsfbc(
         raise ValueError(
             f"unknown BSFBC algorithm {algorithm!r}; expected one of {sorted(BSFBC_ALGORITHMS)}"
         ) from None
-    if _use_engine(n_jobs, shard):
+    if _use_engine(n_jobs, shard, branch_threshold, cache):
         return _run_engine(
-            graph, params, "bsfbc", algorithm, ordering, pruning, backend, n_jobs, shard
+            graph,
+            params,
+            "bsfbc",
+            algorithm,
+            ordering,
+            pruning,
+            backend,
+            n_jobs,
+            shard,
+            branch_threshold,
+            cache,
         )
     return function(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
@@ -163,6 +220,8 @@ def enumerate_pssfbc(
     backend: str = DEFAULT_BACKEND,
     n_jobs: int = 1,
     shard: Optional[bool] = None,
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> EnumerationResult:
     """Enumerate all proportion single-side fair bicliques (PSSFBC).
 
@@ -170,9 +229,19 @@ def enumerate_pssfbc(
     """
     if theta is not None:
         params = params.with_theta(theta)
-    if _use_engine(n_jobs, shard):
+    if _use_engine(n_jobs, shard, branch_threshold, cache):
         return _run_engine(
-            graph, params, "pssfbc", None, ordering, pruning, backend, n_jobs, shard
+            graph,
+            params,
+            "pssfbc",
+            None,
+            ordering,
+            pruning,
+            backend,
+            n_jobs,
+            shard,
+            branch_threshold,
+            cache,
         )
     return fair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)
 
@@ -186,12 +255,24 @@ def enumerate_pbsfbc(
     backend: str = DEFAULT_BACKEND,
     n_jobs: int = 1,
     shard: Optional[bool] = None,
+    branch_threshold: Optional[int] = None,
+    cache: CacheLike = None,
 ) -> EnumerationResult:
     """Enumerate all proportion bi-side fair bicliques (PBSFBC)."""
     if theta is not None:
         params = params.with_theta(theta)
-    if _use_engine(n_jobs, shard):
+    if _use_engine(n_jobs, shard, branch_threshold, cache):
         return _run_engine(
-            graph, params, "pbsfbc", None, ordering, pruning, backend, n_jobs, shard
+            graph,
+            params,
+            "pbsfbc",
+            None,
+            ordering,
+            pruning,
+            backend,
+            n_jobs,
+            shard,
+            branch_threshold,
+            cache,
         )
     return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)

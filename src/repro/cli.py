@@ -144,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
         "the execution engine runs)",
     )
     enum_parser.add_argument(
+        "--branch-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split shards with more than N top-level search branches into "
+        "independent branch-level work units (exact: identical results and "
+        "statistics); engages the execution engine",
+    )
+    enum_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed shard result cache directory; repeated runs "
+        "and parameter sweeps reuse every shard whose fingerprint (edge set, "
+        "attributes, search params) is already stored; engages the engine",
+    )
+    enum_parser.add_argument(
         "--count-only", action="store_true", help="print only the number of results"
     )
     enum_parser.add_argument(
@@ -172,6 +189,8 @@ def _run_enumerate(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_jobs=args.jobs,
         shard=False if args.no_shard else None,
+        branch_threshold=args.branch_threshold,
+        cache=args.cache_dir,
     )
     if model == "ssfbc":
         result = enumerate_ssfbc(

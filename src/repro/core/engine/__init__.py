@@ -8,8 +8,12 @@ into three explicit stages:
   components, with a 2-hop-cluster fallback for one giant component) and
   compacts each shard into its own dense substrate description;
 * :func:`~repro.core.engine.executor.execute` runs the substrate-level
-  search of the selected algorithm per shard -- in-process or fanned out
-  across a ``ProcessPoolExecutor`` via the ``n_jobs`` knob;
+  search of the selected algorithm per *work unit* -- one unit per shard,
+  or several independent branch-level slices of one shard under the
+  ``branch_threshold`` knob -- in-process or fanned out across a
+  ``ProcessPoolExecutor`` via the ``n_jobs`` knob, short-circuiting shards
+  whose content-addressed fingerprint is already in the optional
+  :class:`~repro.core.engine.cache.ShardCache`;
 * :func:`~repro.core.engine.merger.merge` unions the per-shard results with
   a deterministic canonical ordering and aggregated statistics.
 
@@ -24,13 +28,22 @@ single-process call path byte-for-byte unchanged otherwise.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
+from repro.core.engine.cache import (
+    CacheStats,
+    ShardCache,
+    resolve_cache,
+    shard_fingerprint,
+)
 from repro.core.engine.executor import (
     ShardOutcome,
+    UnitOutcome,
     execute,
     resolve_n_jobs,
     run_on_substrate,
+    shard_cache_key,
 )
 from repro.core.engine.merger import merge
 from repro.core.engine.planner import (
@@ -42,6 +55,7 @@ from repro.core.engine.planner import (
     SSFBC_MODEL,
     ExecutionPlan,
     Shard,
+    WorkUnit,
     plan,
     resolve_algorithm,
 )
@@ -54,6 +68,7 @@ from repro.graph.components import AUTO_STRATEGY
 __all__ = [
     "AUTO_STRATEGY",
     "BSFBC_MODEL",
+    "CacheStats",
     "DISPLAY_NAMES",
     "ExecutionPlan",
     "MODEL_ALGORITHMS",
@@ -61,14 +76,20 @@ __all__ = [
     "PSSFBC_MODEL",
     "SSFBC_MODEL",
     "Shard",
+    "ShardCache",
     "ShardOutcome",
+    "UnitOutcome",
+    "WorkUnit",
     "execute",
     "merge",
     "plan",
     "resolve_algorithm",
+    "resolve_cache",
     "resolve_n_jobs",
     "run",
     "run_on_substrate",
+    "shard_cache_key",
+    "shard_fingerprint",
 ]
 
 
@@ -83,14 +104,20 @@ def run(
     n_jobs: int = 1,
     shard: bool = True,
     strategy: str = AUTO_STRATEGY,
+    branch_threshold: Optional[int] = None,
+    cache: "ShardCache | str | os.PathLike | None" = None,
 ) -> EnumerationResult:
     """Run the full staged pipeline and return the merged result.
 
     Parameters mirror the :mod:`repro.api` ``enumerate_*`` functions plus
     the engine knobs: ``n_jobs`` (``1`` serial, ``> 1`` process fan-out,
     ``<= 0`` one worker per CPU), ``shard`` (decompose the pruned graph or
-    treat it as a single shard) and ``strategy`` (``"auto"``,
-    ``"components"``, ``"cluster"`` or ``"none"``).
+    treat it as a single shard), ``strategy`` (``"auto"``,
+    ``"components"``, ``"cluster"`` or ``"none"``), ``branch_threshold``
+    (split shards with more top-level branches than this into independent
+    branch-level work units) and ``cache`` (a
+    :class:`~repro.core.engine.cache.ShardCache` or a directory path; shard
+    outcomes are reused across runs by content-addressed fingerprint).
     """
     timer = Timer()
     execution_plan = plan(
@@ -103,6 +130,7 @@ def run(
         backend=backend,
         shard=shard,
         strategy=strategy,
+        branch_threshold=branch_threshold,
     )
-    outcomes = execute(execution_plan, n_jobs=n_jobs)
+    outcomes = execute(execution_plan, n_jobs=n_jobs, cache=resolve_cache(cache))
     return merge(execution_plan, outcomes, elapsed_seconds=timer.elapsed())

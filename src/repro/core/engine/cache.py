@@ -1,0 +1,302 @@
+"""Content-addressed cache of per-shard enumeration outcomes.
+
+An :class:`~repro.core.engine.planner.ExecutionPlan` is a pure description
+and every shard of it is content-addressable: the biclique set (and the
+search statistics) of a shard are fully determined by the shard's canonical
+edge set, its attribute assignment, the attribute domains fairness is judged
+against, and the search parameters.  :func:`shard_fingerprint` hashes
+exactly those inputs into a stable hex key, and :class:`ShardCache` maps the
+key to the shard's ``(bicliques, stats)`` outcome through an in-memory LRU
+backed by an optional on-disk store.
+
+The payoff is reuse across repeated sweeps: an experiment (or a dashboard)
+that re-enumerates the same graph -- or varies only parameters that leave
+most shards' keys unchanged -- recomputes nothing for the shards it has
+seen before.  Two normalisations raise the hit rate:
+
+* ``theta`` only enters the key for the proportional models; an SSFBC/BSFBC
+  request hits the same entry whatever ``theta`` it carries.
+* Attribute domains are hashed as sorted value sets, so the construction
+  order of the input graph does not split otherwise identical requests.
+
+On-disk entries are self-validating: the payload is stored behind a magic
+header and a SHA-256 checksum, and a corrupt, truncated or unreadable entry
+is *deleted and treated as a miss* -- the shard is recomputed and the entry
+rewritten -- never trusted.  Writes go through a temporary file plus
+``os.replace`` so readers can never observe a half-written entry.  The
+payload itself is plain JSON (vertex-id lists and flat statistics), never
+pickle, so loading an entry from a shared or tampered-with cache directory
+cannot execute code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.models import Biclique, EnumerationStats, FairnessParams
+from repro.graph.attributes import AttributeValue
+from repro.graph.bipartite import AttributedBipartiteGraph
+
+#: Bump when the cached payload layout or the fingerprint inputs change;
+#: old entries then simply miss instead of deserialising garbage.
+CACHE_FORMAT_VERSION = 1
+
+#: Models whose results depend on the proportionality threshold ``theta``.
+PROPORTIONAL_MODELS = ("pssfbc", "pbsfbc")
+
+_MAGIC = b"RPRO-SHARD-CACHE\n"
+
+#: What a cache entry stores: the shard's bicliques and search statistics.
+ShardEntry = Tuple[List[Biclique], EnumerationStats]
+
+
+def _encode_entry(entry: ShardEntry) -> bytes:
+    """Serialise one entry as compact JSON (safe to load from any source)."""
+    bicliques, stats = entry
+    payload = {
+        "bicliques": [
+            [sorted(biclique.upper), sorted(biclique.lower)] for biclique in bicliques
+        ],
+        "stats": dataclasses.asdict(stats),
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_entry(blob: bytes) -> ShardEntry:
+    """Inverse of :func:`_encode_entry`; raises on any malformed payload."""
+    payload = json.loads(blob.decode("utf-8"))
+    bicliques = [
+        Biclique(frozenset(upper), frozenset(lower))
+        for upper, lower in payload["bicliques"]
+    ]
+    stats = EnumerationStats(**payload["stats"])
+    return bicliques, stats
+
+
+def _canonical_domain(domain: Sequence[AttributeValue]) -> Tuple[str, ...]:
+    """Domain as a sorted, type-tagged tuple (order-insensitive, stable)."""
+    return tuple(sorted(f"{type(value).__name__}:{value!r}" for value in domain))
+
+
+def shard_fingerprint(
+    graph: AttributedBipartiteGraph,
+    model: str,
+    algorithm: str,
+    params: FairnessParams,
+    ordering: str,
+    backend: str,
+    lower_domain: Sequence[AttributeValue],
+    upper_domain: Sequence[AttributeValue],
+) -> str:
+    """Content-addressed key of one shard's enumeration outcome.
+
+    The key covers everything the outcome depends on -- the shard's
+    canonical edge set, both attribute assignments (isolated vertices
+    included), the *source* graph's attribute domains and the search
+    parameters -- and nothing else: labels, shard order, worker counts and
+    branch thresholds all leave the key (and the outcome) unchanged.
+    Mutating a single edge or attribute of one shard changes only that
+    shard's key.
+    """
+    theta = params.theta if model in PROPORTIONAL_MODELS else None
+    payload = (
+        CACHE_FORMAT_VERSION,
+        model,
+        algorithm,
+        ordering,
+        backend,
+        (params.alpha, params.beta, params.delta, theta),
+        _canonical_domain(lower_domain),
+        _canonical_domain(upper_domain),
+        tuple(sorted(graph.edges())),
+        tuple((u, repr(graph.upper_attribute(u))) for u in graph.upper_vertices()),
+        tuple((v, repr(graph.lower_attribute(v))) for v in graph.lower_vertices()),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ShardCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+
+class ShardCache:
+    """LRU shard-outcome cache with an optional on-disk store.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory LRU layer (least recently used entries
+        are evicted first; ``0`` disables the memory layer entirely).
+    directory:
+        Optional directory of the persistent layer.  Entries are written as
+        ``<directory>/<key[:2]>/<key>.json`` with a magic header and a
+        SHA-256 payload checksum; entries that fail validation are deleted
+        and reported as misses.  The directory is shared state: concurrent
+        writers are safe (atomic replace), and a memory-layer miss falls
+        through to disk (promoting the entry back into memory).  The
+        checksum detects corruption, not tampering -- but entries are JSON,
+        so even a hostile cache directory can at worst change results,
+        never execute code.
+    """
+
+    def __init__(self, max_entries: int = 256, directory: Optional[str | os.PathLike] = None):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, ShardEntry]" = OrderedDict()
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[ShardEntry]:
+        """Look ``key`` up; ``None`` on miss (or invalid on-disk entry)."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._copy(entry)
+        entry = self._disk_get(key)
+        if entry is not None:
+            self._memory_put(key, entry)
+            self.stats.hits += 1
+            return self._copy(entry)
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, bicliques: List[Biclique], stats: EnumerationStats) -> None:
+        """Store one shard outcome under ``key`` (memory and disk layers)."""
+        entry: ShardEntry = (list(bicliques), dataclasses.replace(stats))
+        self._memory_put(key, entry)
+        self._disk_put(key, entry)
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left untouched)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._disk_path(key).exists()
+
+    # ------------------------------------------------------------------
+    # memory layer
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _copy(entry: ShardEntry) -> ShardEntry:
+        """Hand out fresh containers so callers can't mutate cached state."""
+        bicliques, stats = entry
+        return list(bicliques), dataclasses.replace(stats)
+
+    def _memory_put(self, key: str, entry: ShardEntry) -> None:
+        if self.max_entries == 0:
+            return
+        if key in self._memory:
+            self._memory.move_to_end(key)
+        self._memory[key] = entry
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _disk_get(self, key: str) -> Optional[ShardEntry]:
+        if self.directory is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            if not blob.startswith(_MAGIC):
+                raise ValueError("bad magic header")
+            digest_start = len(_MAGIC)
+            payload_start = digest_start + hashlib.sha256().digest_size
+            digest = blob[digest_start:payload_start]
+            payload = blob[payload_start:]
+            if hashlib.sha256(payload).digest() != digest:
+                raise ValueError("checksum mismatch")
+            return _decode_entry(payload)
+        except Exception:
+            # Corrupt, truncated or otherwise unreadable: never trust it.
+            self.stats.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, entry: ShardEntry) -> None:
+        if self.directory is None:
+            return
+        path = self._disk_path(key)
+        try:
+            payload = _encode_entry(entry)
+        except (TypeError, ValueError):
+            # Non-JSON-serialisable vertex ids: skip the disk layer.
+            return
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full disk degrades the cache, never the run.
+            pass
+
+
+def resolve_cache(cache: "ShardCache | str | os.PathLike | None") -> Optional[ShardCache]:
+    """Normalise the public ``cache=`` knob.
+
+    ``None`` stays off, a :class:`ShardCache` passes through, and a path
+    builds a disk-backed cache rooted at that directory.
+    """
+    if cache is None or isinstance(cache, ShardCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return ShardCache(directory=cache)
+    raise TypeError(
+        f"cache must be None, a ShardCache or a directory path, got {type(cache).__name__}"
+    )

@@ -1,12 +1,23 @@
-"""``execute()``: run the planned enumeration per shard, serially or fanned out.
+"""``execute()``: run the planned enumeration per work unit, serially or fanned out.
 
-Every shard is independent by construction, so execution is a pure map:
-build the shard's :class:`~repro.core.enumeration._common.ShardSubstrate`
-(dense bitset compaction in the shard's own id space) and run the
-substrate-level search of the planned algorithm.  With ``n_jobs > 1`` the
-map runs on a :class:`concurrent.futures.ProcessPoolExecutor`; shard graphs,
-parameters and results are plain picklable objects, and the worker is a
-module-level function so the fan-out works under every start method.
+Execution operates on the plan's :class:`~repro.core.engine.planner.WorkUnit`
+list -- one unit per shard by default, several *branch slices* per shard when
+the plan was built with a ``branch_threshold``.  Every unit is independent by
+construction: it builds the shard's
+:class:`~repro.core.enumeration._common.ShardSubstrate` (dense bitset
+compaction in the shard's own id space) and runs the substrate-level search
+of the planned algorithm, restricted to the unit's root-branch slice.  Unit
+outcomes concatenate (in slice order) to exactly the unsliced shard search --
+same bicliques, same order, same statistics -- so a giant shard no longer
+pins a whole worker.  With ``n_jobs > 1`` the unit map runs on a
+:class:`concurrent.futures.ProcessPoolExecutor`; payloads and results are
+plain picklable objects and the worker is a module-level function, so the
+fan-out works under every start method.
+
+Passing a :class:`~repro.core.engine.cache.ShardCache` short-circuits whole
+shards: a shard whose content-addressed fingerprint is cached skips unit
+dispatch entirely, and freshly computed shard outcomes are stored for the
+next run.
 """
 
 from __future__ import annotations
@@ -14,8 +25,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from itertools import groupby
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.engine.cache import ShardCache, shard_fingerprint
 from repro.core.engine.planner import (
     BSFBC_MODEL,
     DISPLAY_NAMES,
@@ -23,6 +36,8 @@ from repro.core.engine.planner import (
     PSSFBC_MODEL,
     SSFBC_MODEL,
     ExecutionPlan,
+    Shard,
+    WorkUnit,
 )
 from repro.core.enumeration._common import ShardSubstrate, make_substrate
 from repro.core.enumeration.bfairbcem import bfair_bcem_search
@@ -39,24 +54,39 @@ from repro.graph.bipartite import AttributedBipartiteGraph
 
 @dataclass
 class ShardOutcome:
-    """Result of enumerating one shard."""
+    """Result of enumerating one shard (all of its work units merged)."""
 
     index: int
     bicliques: List[Biclique]
     stats: EnumerationStats
 
 
+@dataclass
+class UnitOutcome:
+    """Result of one work unit (a shard or one branch slice of it)."""
+
+    unit_index: int
+    shard_index: int
+    bicliques: List[Biclique]
+    stats: EnumerationStats
+
+
 def _ssfbc_runner(search_pruning):
-    def runner(substrate, params, ordering, stats):
+    def runner(substrate, params, ordering, stats, root_slice):
         return fair_bcem_search(
-            substrate, params, ordering=ordering, search_pruning=search_pruning, stats=stats
+            substrate,
+            params,
+            ordering=ordering,
+            search_pruning=search_pruning,
+            stats=stats,
+            root_slice=root_slice,
         )
 
     return runner
 
 
 def _bsfbc_runner(use_plus_plus, search_pruning=True):
-    def runner(substrate, params, ordering, stats):
+    def runner(substrate, params, ordering, stats, root_slice):
         return bfair_bcem_search(
             substrate,
             params,
@@ -64,6 +94,16 @@ def _bsfbc_runner(use_plus_plus, search_pruning=True):
             stats=stats,
             use_plus_plus=use_plus_plus,
             search_pruning=search_pruning,
+            root_slice=root_slice,
+        )
+
+    return runner
+
+
+def _plain_runner(search):
+    def runner(substrate, params, ordering, stats, root_slice):
+        return search(
+            substrate, params, ordering=ordering, stats=stats, root_slice=root_slice
         )
 
     return runner
@@ -74,13 +114,13 @@ def _bsfbc_runner(use_plus_plus, search_pruning=True):
 #: source of truth (agreement checked below at import time).
 _RUNNERS = {
     (SSFBC_MODEL, "fairbcem"): _ssfbc_runner(search_pruning=True),
-    (SSFBC_MODEL, "fairbcem++"): fair_bcem_pp_search,
+    (SSFBC_MODEL, "fairbcem++"): _plain_runner(fair_bcem_pp_search),
     (SSFBC_MODEL, "nsf"): _ssfbc_runner(search_pruning=False),
     (BSFBC_MODEL, "bfairbcem"): _bsfbc_runner(use_plus_plus=False),
     (BSFBC_MODEL, "bfairbcem++"): _bsfbc_runner(use_plus_plus=True),
     (BSFBC_MODEL, "bnsf"): _bsfbc_runner(use_plus_plus=False, search_pruning=False),
-    (PSSFBC_MODEL, "fairbcempro++"): fair_bcem_pro_pp_search,
-    (PBSFBC_MODEL, "bfairbcempro++"): bfair_bcem_pro_pp_search,
+    (PSSFBC_MODEL, "fairbcempro++"): _plain_runner(fair_bcem_pro_pp_search),
+    (PBSFBC_MODEL, "bfairbcempro++"): _plain_runner(bfair_bcem_pro_pp_search),
 }
 assert set(_RUNNERS) == set(DISPLAY_NAMES), "executor dispatch out of sync with registry"
 
@@ -92,8 +132,18 @@ def run_on_substrate(
     params: FairnessParams,
     ordering: str,
     stats: Optional[EnumerationStats] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> Tuple[List[Biclique], EnumerationStats]:
-    """Dispatch the substrate-level search of ``(model, algorithm)``."""
+    """Dispatch the substrate-level search of ``(model, algorithm)``.
+
+    ``root_slice`` restricts the search to a slice of its top-level
+    branches (see :class:`~repro.core.engine.planner.WorkUnit`).  The
+    engine always runs in *sliced* mode -- ``None`` is normalised to the
+    whole range -- so that statistics are exactly additive across any unit
+    decomposition of a shard, whatever threshold produced it.  (The classic
+    entry points call the searches unsliced, which keeps MBEA's root-level
+    retire skip; the biclique set is identical either way.)
+    """
     try:
         runner = _RUNNERS[(model, algorithm)]
     except KeyError:
@@ -101,13 +151,18 @@ def run_on_substrate(
     stats = stats if stats is not None else EnumerationStats(
         algorithm=DISPLAY_NAMES[(model, algorithm)]
     )
-    # Every runner shares the (substrate, params, ordering, stats) signature.
-    return runner(substrate, params, ordering, stats), stats
+    if root_slice is None:
+        root_slice = (0, len(substrate.view.handles))
+    # Every runner shares the (substrate, params, ordering, stats, slice)
+    # signature.
+    return runner(substrate, params, ordering, stats, root_slice), stats
 
 
-#: Payload shipped to a worker process: everything one shard needs.
-ShardPayload = Tuple[
+#: Payload shipped to a worker process: everything one work unit needs.
+UnitPayload = Tuple[
     int,
+    int,
+    Optional[Tuple[int, int]],
     AttributedBipartiteGraph,
     str,
     str,
@@ -119,41 +174,95 @@ ShardPayload = Tuple[
 ]
 
 
-def _enumerate_shard(payload: ShardPayload) -> ShardOutcome:
-    """Worker entry point: build the shard substrate and run the search."""
-    (
-        index,
-        graph,
-        model,
-        algorithm,
-        params,
-        ordering,
-        backend,
-        lower_domain,
-        upper_domain,
-    ) = payload
-    substrate = make_substrate(
+def _run_unit(payload: UnitPayload, substrate: ShardSubstrate) -> UnitOutcome:
+    (unit_index, shard_index, branch_slice, _, model, algorithm, params, ordering) = payload[:8]
+    bicliques, stats = run_on_substrate(
+        model, algorithm, substrate, params, ordering, root_slice=branch_slice
+    )
+    return UnitOutcome(unit_index, shard_index, bicliques, stats)
+
+
+def _unit_substrate(payload: UnitPayload) -> ShardSubstrate:
+    graph, backend, lower_domain, upper_domain = (
+        payload[3],
+        payload[8],
+        payload[9],
+        payload[10],
+    )
+    return make_substrate(
         graph, backend, lower_domain=lower_domain, upper_domain=upper_domain
     )
-    bicliques, stats = run_on_substrate(model, algorithm, substrate, params, ordering)
-    return ShardOutcome(index, bicliques, stats)
 
 
-def _payloads(plan: ExecutionPlan) -> List[ShardPayload]:
-    return [
-        (
-            shard.index,
-            shard.graph,
-            plan.model,
-            plan.algorithm,
-            plan.params,
-            plan.ordering,
-            plan.backend,
-            plan.lower_domain,
-            plan.upper_domain,
-        )
-        for shard in plan.shards
-    ]
+def _enumerate_unit(payload: UnitPayload) -> UnitOutcome:
+    """Process-pool worker entry point: build the substrate, run the unit."""
+    return _run_unit(payload, _unit_substrate(payload))
+
+
+def _enumerate_units_serial(payloads: List[UnitPayload]) -> List[UnitOutcome]:
+    """In-process unit map reusing one substrate per shard.
+
+    Units of one shard are contiguous in the payload list, so the shard's
+    substrate (the expensive bitset compaction) is built once and every
+    branch slice of the shard runs against it.
+    """
+    outcomes: List[UnitOutcome] = []
+    substrate: Optional[ShardSubstrate] = None
+    substrate_shard: Optional[int] = None
+    for payload in payloads:
+        shard_index = payload[1]
+        if substrate is None or shard_index != substrate_shard:
+            substrate = _unit_substrate(payload)
+            substrate_shard = shard_index
+        outcomes.append(_run_unit(payload, substrate))
+    return outcomes
+
+
+def _unit_payload(plan: ExecutionPlan, unit: WorkUnit, shard: Shard) -> UnitPayload:
+    return (
+        unit.index,
+        unit.shard_index,
+        unit.branch_slice,
+        shard.graph,
+        plan.model,
+        plan.algorithm,
+        plan.params,
+        plan.ordering,
+        plan.backend,
+        plan.lower_domain,
+        plan.upper_domain,
+    )
+
+
+def shard_cache_key(plan: ExecutionPlan, shard: Shard) -> str:
+    """Content-addressed cache key of ``shard`` under ``plan``'s parameters."""
+    return shard_fingerprint(
+        shard.graph,
+        model=plan.model,
+        algorithm=plan.algorithm,
+        params=plan.params,
+        ordering=plan.ordering,
+        backend=plan.backend,
+        lower_domain=plan.lower_domain,
+        upper_domain=plan.upper_domain,
+    )
+
+
+def _merge_unit_outcomes(unit_outcomes: List[UnitOutcome]) -> List[ShardOutcome]:
+    """Merge per-unit outcomes into per-shard outcomes.
+
+    Units of one shard are contiguous and slice-ordered in the plan's work
+    unit list (and the executor preserves payload order), so concatenating
+    their bicliques reproduces the shard's unsliced result order exactly;
+    statistics are additive (:meth:`EnumerationStats.merge`).
+    """
+    outcomes: List[ShardOutcome] = []
+    for shard_index, group_iter in groupby(unit_outcomes, key=lambda o: o.shard_index):
+        group = list(group_iter)
+        bicliques = [biclique for outcome in group for biclique in outcome.bicliques]
+        stats = EnumerationStats.merge(outcome.stats for outcome in group)
+        outcomes.append(ShardOutcome(shard_index, bicliques, stats))
+    return outcomes
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -163,19 +272,45 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
-def execute(plan: ExecutionPlan, n_jobs: int = 1) -> List[ShardOutcome]:
-    """Run every shard of ``plan`` and return the per-shard outcomes.
+def execute(
+    plan: ExecutionPlan, n_jobs: int = 1, cache: Optional[ShardCache] = None
+) -> List[ShardOutcome]:
+    """Run every work unit of ``plan`` and return the per-shard outcomes.
 
-    ``n_jobs=1`` runs in-process; ``n_jobs > 1`` fans the shards out over a
-    process pool with ``min(n_jobs, num_shards)`` workers.  ``0`` or a
-    negative value means "one worker per CPU".  Outcomes are returned in
-    shard order either way.
+    ``n_jobs=1`` runs in-process; ``n_jobs > 1`` fans the units out over a
+    process pool with ``min(n_jobs, num_units)`` workers.  ``0`` or a
+    negative value means "one worker per CPU".  With a ``cache``, shards
+    whose fingerprint is already stored are answered from the cache without
+    dispatching their units, and fresh shard outcomes are stored after
+    enumeration.  Outcomes are returned in shard order either way.
     """
     jobs = resolve_n_jobs(n_jobs)
-    payloads = _payloads(plan)
-    if not payloads:
-        return []
-    if jobs == 1 or len(payloads) == 1:
-        return [_enumerate_shard(payload) for payload in payloads]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-        return list(pool.map(_enumerate_shard, payloads))
+    shards_by_index = {shard.index: shard for shard in plan.shards}
+    outcomes: Dict[int, ShardOutcome] = {}
+    cache_keys: Dict[int, str] = {}
+
+    if cache is not None:
+        for shard in plan.shards:
+            key = shard_cache_key(plan, shard)
+            cache_keys[shard.index] = key
+            entry = cache.get(key)
+            if entry is not None:
+                bicliques, stats = entry
+                outcomes[shard.index] = ShardOutcome(shard.index, bicliques, stats)
+
+    payloads = [
+        _unit_payload(plan, unit, shards_by_index[unit.shard_index])
+        for unit in plan.work_units
+        if unit.shard_index not in outcomes
+    ]
+    if payloads:
+        if jobs == 1 or len(payloads) == 1:
+            unit_outcomes = _enumerate_units_serial(payloads)
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+                unit_outcomes = list(pool.map(_enumerate_unit, payloads))
+        for outcome in _merge_unit_outcomes(unit_outcomes):
+            outcomes[outcome.index] = outcome
+            if cache is not None:
+                cache.put(cache_keys[outcome.index], outcome.bicliques, outcome.stats)
+    return [outcomes[index] for index in sorted(outcomes)]

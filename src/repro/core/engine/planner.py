@@ -22,7 +22,7 @@ executed serially, fanned out over processes, cached, or inspected.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.enumeration._common import (
@@ -121,6 +121,99 @@ class Shard:
         return self.graph.num_edges
 
 
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of the execution: a shard or a slice of one.
+
+    ``branch_slice`` of ``None`` means "run every top-level branch of the
+    shard's search"; ``(start, stop)`` restricts the unit to the branches
+    rooted at candidates ``start..stop-1`` of the shard's ordered candidate
+    list.  Root branches are independent given their (L, P, Q) pools, so
+    the units of one shard can run in any order on any worker and their
+    outcomes concatenate (in slice order) to exactly the unsliced search.
+    """
+
+    index: int
+    shard_index: int
+    branch_slice: Optional[Tuple[int, int]] = None
+
+    @property
+    def num_branches(self) -> Optional[int]:
+        """Number of root branches this unit covers (``None`` = all)."""
+        if self.branch_slice is None:
+            return None
+        return self.branch_slice[1] - self.branch_slice[0]
+
+
+def _shard_admits_results(
+    pruned: AttributedBipartiteGraph,
+    uppers,
+    lowers,
+    params: FairnessParams,
+    bi_side: bool,
+    lower_domain: Tuple[AttributeValue, ...],
+    upper_domain: Tuple[AttributeValue, ...],
+) -> bool:
+    """Cheap plan-time test: can this shard contain *any* fair biclique?
+
+    Runs on the shard's ``(uppers, lowers)`` vertex sets *before* the
+    induced-subgraph compaction, so provably fruitless shards (the 2-hop
+    fallback can produce thousands of singleton clusters) cost two size
+    checks instead of a graph copy plus an empty search.  Fairness is
+    judged against the source graph's attribute domains: a shard whose
+    surviving lower side misses a domain value, or is smaller than ``beta``
+    per value, admits no fair set at all; the mirrored upper-side test
+    applies to the bi-side models, and every model needs at least ``alpha``
+    upper vertices.  Dropping such shards never loses a result -- only the
+    statistics of provably fruitless searches.
+    """
+    if not uppers or not lowers:
+        return False
+    if len(uppers) < params.alpha:
+        return False
+    beta = params.beta
+    if beta >= 1 and lower_domain:
+        if len(lowers) < beta * len(lower_domain):
+            return False
+        surviving = {pruned.lower_attribute(v) for v in lowers}
+        if any(value not in surviving for value in lower_domain):
+            return False
+    if bi_side and upper_domain:
+        # alpha >= 1 is enforced for every enumeration request.
+        if len(uppers) < params.alpha * len(upper_domain):
+            return False
+        surviving = {pruned.upper_attribute(u) for u in uppers}
+        if any(value not in surviving for value in upper_domain):
+            return False
+    return True
+
+
+def _branch_work_units(
+    shards: List[Shard], branch_threshold: Optional[int]
+) -> List[WorkUnit]:
+    """Emit the work units of ``shards`` under ``branch_threshold``.
+
+    A shard whose lower side (= number of top-level search branches) exceeds
+    the threshold is split into evenly sized branch slices of at most
+    ``branch_threshold`` roots each; smaller shards stay whole.  ``None``
+    (or a non-positive threshold) disables branch splitting.
+    """
+    units: List[WorkUnit] = []
+    for shard in shards:
+        branches = shard.num_lower
+        if branch_threshold is None or branch_threshold < 1 or branches <= branch_threshold:
+            units.append(WorkUnit(len(units), shard.index))
+            continue
+        num_units = -(-branches // branch_threshold)  # ceil division
+        base, extra = divmod(branches, num_units)
+        start = 0
+        for position in range(num_units):
+            size = base + (1 if position < extra else 0)
+            units.append(WorkUnit(len(units), shard.index, (start, start + size)))
+            start += size
+    return units
+
+
 @dataclass
 class ExecutionPlan:
     """Everything the execute / merge stages need, computed once."""
@@ -138,6 +231,8 @@ class ExecutionPlan:
     lower_domain: Tuple[AttributeValue, ...]
     upper_domain: Tuple[AttributeValue, ...]
     plan_seconds: float = 0.0
+    branch_threshold: Optional[int] = None
+    work_units: List[WorkUnit] = field(default_factory=list)
 
     @property
     def display_name(self) -> str:
@@ -148,6 +243,11 @@ class ExecutionPlan:
     def num_shards(self) -> int:
         """Number of non-trivial shards to execute."""
         return len(self.shards)
+
+    @property
+    def num_work_units(self) -> int:
+        """Number of schedulable work units (>= ``num_shards``)."""
+        return len(self.work_units)
 
 
 def plan(
@@ -160,12 +260,18 @@ def plan(
     backend: str = DEFAULT_BACKEND,
     shard: bool = True,
     strategy: str = AUTO_STRATEGY,
+    branch_threshold: Optional[int] = None,
 ) -> ExecutionPlan:
     """Build the :class:`ExecutionPlan` for one enumeration request.
 
     With ``shard=False`` (or when the decomposition finds a single piece)
     the plan holds one shard covering the whole pruned graph; the pipeline
-    is the same either way.
+    is the same either way.  ``branch_threshold`` splits shards with more
+    top-level search branches than the threshold into branch-level
+    :class:`WorkUnit` slices (``None`` disables splitting).  Shards that
+    provably cannot contain a fair biclique (a side missing an attribute
+    value, or too small for the thresholds) are dropped here rather than
+    dispatched as empty work.
     """
     started = time.perf_counter()
     algorithm = resolve_algorithm(model, algorithm)
@@ -185,14 +291,26 @@ def plan(
             pruned, params.alpha, strategy=strategy if shard else NO_SHARDING
         )
         non_trivial = [sets for sets in vertex_sets if sets[0] and sets[1]]
-        if len(non_trivial) <= 1:
+        admissible = [
+            sets
+            for sets in non_trivial
+            if _shard_admits_results(
+                pruned,
+                *sets,
+                params,
+                bi_side,
+                graph.lower_attribute_domain,
+                graph.upper_attribute_domain,
+            )
+        ]
+        if len(non_trivial) == 1 and len(admissible) == 1:
             # A single shard enumerates identically on the whole pruned
             # graph (vertices outside it are isolated and can never join a
             # biclique), so skip the induced-subgraph copy entirely.
-            shard_graphs = [pruned] if non_trivial else []
+            shard_graphs = [pruned]
         else:
             shard_graphs = [
-                pruned.induced_subgraph(uppers, lowers) for uppers, lowers in non_trivial
+                pruned.induced_subgraph(uppers, lowers) for uppers, lowers in admissible
             ]
         # Largest shards first: better load balancing under a process pool.
         shard_graphs.sort(
@@ -214,4 +332,6 @@ def plan(
         lower_domain=graph.lower_attribute_domain,
         upper_domain=graph.upper_attribute_domain,
         plan_seconds=time.perf_counter() - started,
+        branch_threshold=branch_threshold,
+        work_units=_branch_work_units(shards, branch_threshold),
     )

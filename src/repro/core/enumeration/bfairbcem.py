@@ -28,7 +28,7 @@ self-contained prune-then-search behaviour.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
@@ -99,21 +99,34 @@ def bfair_bcem_search(
     stats: Optional[EnumerationStats] = None,
     use_plus_plus: bool = True,
     search_pruning: bool = True,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
     """Run ``BFairBCEM``/``BFairBCEM++`` on a pre-pruned substrate.
 
     Unlike the entry points, the single-side candidate enumeration runs
     directly on the substrate without re-applying the single-side pruning;
     the pruning is lossless, so the returned biclique set is unchanged.
+
+    ``root_slice`` (branch-level work units) restricts the single-side
+    candidate search to a slice of its top-level branches; a result's lower
+    side determines its single-side candidate, so the bi-side results of a
+    partition's slices are disjoint and union to the unsliced run.
     """
     stats = stats if stats is not None else EnumerationStats(
         algorithm="BFairBCEM++" if use_plus_plus else "BFairBCEM"
     )
     if use_plus_plus:
-        single_side = fair_bcem_pp_search(substrate, params, ordering=ordering, stats=stats)
+        single_side = fair_bcem_pp_search(
+            substrate, params, ordering=ordering, stats=stats, root_slice=root_slice
+        )
     else:
         single_side = fair_bcem_search(
-            substrate, params, ordering=ordering, search_pruning=search_pruning, stats=stats
+            substrate,
+            params,
+            ordering=ordering,
+            search_pruning=search_pruning,
+            stats=stats,
+            root_slice=root_slice,
         )
     if not single_side:
         return []

@@ -32,7 +32,7 @@ prune-then-search entry point.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
@@ -56,12 +56,22 @@ def fair_bcem_search(
     ordering: str = DEGREE_ORDER,
     search_pruning: bool = True,
     stats: Optional[EnumerationStats] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
     """Run the ``FairBCEM`` branch and bound on a pre-pruned substrate.
 
     The substrate's graph is searched as-is -- pruning is the caller's job
     (:func:`fair_bcem` or the execution engine's planning stage).  Search
     counters accumulate into ``stats`` when given.
+
+    ``root_slice=(start, stop)`` restricts the search to the top-level
+    branches rooted at candidates ``start..stop-1`` of the ordered candidate
+    list.  Each root branch is fully determined by its (L, P, Q) pools, so
+    running every slice of a partition of ``[0, n)`` -- in any process, in
+    any order -- and concatenating the per-slice results in slice order
+    reproduces the unsliced search exactly: same bicliques, same order, same
+    statistics.  The execution engine uses this to fan one shard out into
+    independent branch-level work units.
     """
     stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEM")
     domain = substrate.lower_domain
@@ -84,11 +94,15 @@ def fair_bcem_search(
         counts: Dict,
         P: List[int],
         Q: List[int],
+        root_stop: Optional[int] = None,
     ) -> None:
         stats.search_nodes += 1
         Q = list(Q)
         cursor, total = 0, len(P)
-        while cursor < total:
+        # ``root_stop`` bounds which candidates *seed* branches at this node
+        # (branch slicing); the inner pools below always range over all of P.
+        stop_at = total if root_stop is None else min(root_stop, total)
+        while cursor < stop_at:
             x = P[cursor]
             cursor += 1
             L_new = L & adjacency[x]
@@ -159,9 +173,26 @@ def fair_bcem_search(
             Q.append(x)
 
     initial_candidates = view.ordered_handles(ordering)
+    start, stop = root_slice if root_slice is not None else (0, len(initial_candidates))
+    if start >= stop:
+        return results
     initial_counts = {a: 0 for a in domain}
     with recursion_limit(len(view.handles) + 1000):
-        backtrack(view.full_upper, frozenset(), initial_counts, initial_candidates, [])
+        # Candidates before ``start`` were (or will be) explored by sibling
+        # slices: they seed the excluded pool exactly as the unsliced root
+        # loop would have left it when reaching branch ``start``.
+        backtrack(
+            view.full_upper,
+            frozenset(),
+            initial_counts,
+            initial_candidates[start:],
+            initial_candidates[:start],
+            root_stop=stop - start,
+        )
+    if start > 0:
+        # The root node itself is counted once per slice; attribute it to
+        # the first slice only so sliced statistics sum to the unsliced run.
+        stats.search_nodes -= 1
     return results
 
 

@@ -26,7 +26,7 @@ prune-then-search entry point.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
@@ -52,12 +52,18 @@ def fair_bcem_pp_search(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     stats: Optional[EnumerationStats] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
     """Run ``FairBCEM++`` on a pre-pruned substrate (no pruning of its own).
 
     Per-attribute closure counts are taken from the substrate view's count
     vectors, which on the bitset backend are word-parallel popcounts against
     the per-value masks of the :class:`~repro.graph.bitset.BitsetGraph`.
+
+    ``root_slice`` restricts the underlying maximal-biclique search to a
+    slice of its top-level branches (branch-level work units): the maximal
+    bicliques partition over the slices, so post-processing each slice's
+    candidates independently reproduces the unsliced run exactly.
     """
     stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEM++")
     domain = substrate.lower_domain
@@ -75,6 +81,7 @@ def fair_bcem_pp_search(
         ordering=ordering,
         stats=stats,
         view=view,
+        root_slice=root_slice,
     )
     attribute_of = substrate.graph.lower_attribute
     common_upper = view.common_upper

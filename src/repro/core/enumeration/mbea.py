@@ -26,7 +26,7 @@ translated back to the graph's vertex ids when reported.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
@@ -50,6 +50,7 @@ def _bitset_search(
     initial_candidates: List[int],
     stats: EnumerationStats,
     results: List[Biclique],
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> None:
     """Bitmask kernel of the MBEA search.
 
@@ -90,9 +91,20 @@ def _bitset_search(
     def lower_ids_of(mask: int):
         return frozenset(ordered_ids[k] for k in iter_set_bits(mask))
 
-    def search(L: int, P: int, Q: int) -> None:
+    def search(L: int, P: int, Q: int, root_todo: Optional[int] = None, allow_retire: bool = True) -> None:
         stats.search_nodes += 1
-        todo = P
+        # ``root_todo`` (branch slicing) bounds which candidates seed branches
+        # at this node; the candidate pool P itself always keeps the full
+        # suffix.  Retiring is disabled at a sliced root: retire events carry
+        # state *across* root branches (a candidate retired by branch i is
+        # skipped by branch k > i), which a slice running on another worker
+        # cannot see.  The skip is redundant for correctness -- at the root a
+        # candidate is retired only when its row equals the retirer's, so the
+        # Q & closed maximality test abandons its branch through the retirer
+        # -- and dropping it makes every slicing of the root produce
+        # bit-identical results and statistics.  The unsliced classic call
+        # (``root_slice=None``) keeps the root retire skip.
+        todo = P if root_todo is None else P & root_todo
         while todo:
             x_bit = todo & -todo
             todo ^= x_bit
@@ -126,21 +138,24 @@ def _bitset_search(
             # neighbour in L_new and excluded ones were just ruled out).
             R_new = closed
             P_new = P & touched & ~closed
-            folded = P & closed
-            # Folded candidates whose neighbourhood inside L is contained in
-            # L_new are retired: they cannot seed new bicliques in sibling
-            # branches.
-            L_lost = L & ~L_new
-            if L_lost:
-                retire = 0
-                f = folded
-                while f:
-                    v_bit = f & -f
-                    f ^= v_bit
-                    if not rows_lower[v_bit.bit_length() - 1] & L_lost:
-                        retire |= v_bit
+            if allow_retire:
+                folded = P & closed
+                # Folded candidates whose neighbourhood inside L is contained
+                # in L_new are retired: they cannot seed new bicliques in
+                # sibling branches.
+                L_lost = L & ~L_new
+                if L_lost:
+                    retire = 0
+                    f = folded
+                    while f:
+                        v_bit = f & -f
+                        f ^= v_bit
+                        if not rows_lower[v_bit.bit_length() - 1] & L_lost:
+                            retire |= v_bit
+                else:
+                    retire = folded
             else:
-                retire = folded
+                retire = 0
 
             R_new_size = popcount(R_new)
             if R_new_size >= min_lower_size and all(
@@ -163,7 +178,19 @@ def _bitset_search(
             todo &= ~retire
             Q |= x_bit | retire
 
-    search(bitset.full_upper_mask, (1 << len(order)) - 1, 0)
+    n = len(order)
+    if root_slice is None:
+        search(bitset.full_upper_mask, (1 << n) - 1, 0)
+    else:
+        start, stop = root_slice
+        prefix = (1 << start) - 1
+        search(
+            bitset.full_upper_mask,
+            ((1 << n) - 1) ^ prefix,
+            prefix,
+            root_todo=((1 << stop) - 1) ^ prefix,
+            allow_retire=False,
+        )
 
 
 def enumerate_maximal_bicliques(
@@ -175,6 +202,7 @@ def enumerate_maximal_bicliques(
     stats: Optional[EnumerationStats] = None,
     backend: str = DEFAULT_BACKEND,
     view: Optional[AdjacencyView] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
     """Enumerate maximal bicliques of ``graph``.
 
@@ -201,6 +229,17 @@ def enumerate_maximal_bicliques(
         Optional pre-built :class:`AdjacencyView` of ``graph``; callers that
         already hold one (the ``++`` algorithms) pass it in to avoid
         building the adjacency twice.  Overrides ``backend``.
+    root_slice:
+        Optional ``(start, stop)`` restriction to the top-level branches
+        rooted at candidates ``start..stop-1`` of the ordered candidate
+        list (branch-level work units of the execution engine).  Every
+        maximal biclique is reported in exactly one root branch -- the one
+        of its smallest-ordered lower vertex -- so the slices of a
+        partition of ``[0, n)`` together reproduce the whole-range
+        ``(0, n)`` run exactly: no duplicates, identical statistics.  Any
+        slice disables the root-level retire skip (see the kernels); the
+        classic unsliced call (``None``) keeps it and may therefore count
+        marginally fewer search nodes, with an identical biclique set.
 
     Returns
     -------
@@ -248,12 +287,23 @@ def enumerate_maximal_bicliques(
                 return
         results.append(Biclique(upper_ids(uppers), lower_ids(lowers)))
 
-    def search(L, R: frozenset, P: List[int], Q: List[int]) -> None:
+    def search(
+        L,
+        R: frozenset,
+        P: List[int],
+        Q: List[int],
+        root_stop: Optional[int] = None,
+        allow_retire: bool = True,
+    ) -> None:
         stats.search_nodes += 1
         Q = list(Q)
         retired = set()
         cursor, total = 0, len(P)
-        while cursor < total:
+        # Branch slicing: ``root_stop`` bounds which candidates seed branches
+        # here; retiring is disabled at a sliced root (see the bitset kernel
+        # for why both are needed for slice-exactness).
+        stop_at = total if root_stop is None else min(root_stop, total)
+        while cursor < stop_at:
             x = P[cursor]
             cursor += 1
             if x in retired:
@@ -291,7 +341,7 @@ def enumerate_maximal_bicliques(
                     # v's neighbourhood inside L is contained in L_new: every
                     # maximal biclique involving v under this L also contains
                     # x, so v cannot seed a new biclique in sibling branches.
-                    if size(adjacency[v] & L) == overlap:
+                    if allow_retire and size(adjacency[v] & L) == overlap:
                         retire.append(v)
                 elif overlap:
                     P_new.append(v)
@@ -312,7 +362,10 @@ def enumerate_maximal_bicliques(
                 Q.append(v)
 
     initial_candidates = view.ordered_handles(ordering)
-    if view.full_upper and initial_candidates:
+    start, stop = (
+        root_slice if root_slice is not None else (0, len(initial_candidates))
+    )
+    if view.full_upper and initial_candidates and start < stop:
         with recursion_limit(len(view.handles) + 1000):
             if view.bitset is not None:
                 _bitset_search(
@@ -323,9 +376,23 @@ def enumerate_maximal_bicliques(
                     initial_candidates,
                     stats,
                     results,
+                    root_slice=root_slice,
                 )
-            else:
+            elif root_slice is None:
                 search(view.full_upper, frozenset(), initial_candidates, [])
+            else:
+                search(
+                    view.full_upper,
+                    frozenset(),
+                    initial_candidates[start:],
+                    initial_candidates[:start],
+                    root_stop=stop - start,
+                    allow_retire=False,
+                )
+        if start > 0:
+            # The root node is counted once per slice; attribute it to the
+            # first slice only so sliced statistics sum to the unsliced run.
+            stats.search_nodes -= 1
 
     stats.elapsed_seconds += timer.elapsed()
     return results

@@ -24,7 +24,7 @@ point.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
@@ -51,8 +51,13 @@ def fair_bcem_pro_pp_search(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     stats: Optional[EnumerationStats] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
-    """Run ``FairBCEMPro++`` on a pre-pruned substrate (no pruning here)."""
+    """Run ``FairBCEMPro++`` on a pre-pruned substrate (no pruning here).
+
+    ``root_slice`` restricts the maximal-biclique search to a slice of its
+    top-level branches (branch-level work units of the execution engine).
+    """
     stats = stats if stats is not None else EnumerationStats(algorithm="FairBCEMPro++")
     domain = substrate.lower_domain
     alpha, beta, delta, theta = params.alpha, params.beta, params.delta, params.theta
@@ -69,6 +74,7 @@ def fair_bcem_pro_pp_search(
         ordering=ordering,
         stats=stats,
         view=view,
+        root_slice=root_slice,
     )
     attribute_of = substrate.graph.lower_attribute
     common_upper = view.common_upper
@@ -128,14 +134,18 @@ def bfair_bcem_pro_pp_search(
     params: FairnessParams,
     ordering: str = DEGREE_ORDER,
     stats: Optional[EnumerationStats] = None,
+    root_slice: Optional[Tuple[int, int]] = None,
 ) -> List[Biclique]:
     """Run ``BFairBCEMPro++`` on a pre-pruned substrate.
 
     The single-side candidate enumeration runs directly on the substrate
     (no inner re-pruning -- lossless, identical biclique set).
+    ``root_slice`` restricts it to a slice of its top-level branches.
     """
     stats = stats if stats is not None else EnumerationStats(algorithm="BFairBCEMPro++")
-    single_side = fair_bcem_pro_pp_search(substrate, params, ordering=ordering, stats=stats)
+    single_side = fair_bcem_pro_pp_search(
+        substrate, params, ordering=ordering, stats=stats, root_slice=root_slice
+    )
     if not single_side:
         return []
     return pair_proportional_bi_side(substrate, params, stats, single_side)

@@ -76,6 +76,33 @@ def default_params():
     return FairnessParams(alpha=2, beta=1, delta=1)
 
 
+def make_bridged_giant_component_graph(num_blocks=2, block_side=3, bridge_id=50):
+    """One connected graph whose ``alpha=2`` 2-hop projection splits.
+
+    ``num_blocks`` complete ``block_side x block_side`` bicliques share a
+    single bridging upper vertex adjacent to two lower vertices of every
+    block, so cross-block lower vertices have exactly one common neighbour
+    (the bridge).  Connected components see a single giant component; the
+    ``alpha=2`` 2-hop cluster fallback splits it into one shard per block.
+    Used by the engine and branch-fan-out tests.
+    """
+    edges = []
+    upper_attrs = {}
+    lower_attrs = {}
+    for block in range(num_blocks):
+        offset = block * 10
+        for u in range(block_side):
+            upper_attrs[offset + u] = "a" if u % 2 == 0 else "b"
+            for v in range(block_side):
+                edges.append((offset + u, offset + v))
+        for v in range(block_side):
+            lower_attrs[offset + v] = "a" if v % 2 == 0 else "b"
+        edges.append((bridge_id, block * 10))
+        edges.append((bridge_id, block * 10 + 1))
+    upper_attrs[bridge_id] = "a"
+    return make_graph(edges, upper_attrs, lower_attrs)
+
+
 def make_multi_component_graph(blocks, isolated=True, offset=100):
     """Disjoint union of random bipartite blocks, ids offset per component.
 

@@ -1,0 +1,161 @@
+"""Property tests: branch-level work units are exact.
+
+Splitting a shard's search into branch-level work units (``branch_threshold``)
+must be invisible: for every model/algorithm and both adjacency backends,
+the branch-split engine path must return *identical* results -- same
+bicliques, same canonical order -- and identical deterministic statistics
+(search nodes, candidates checked, maximal bicliques considered) as the
+unsplit engine path, for every threshold and worker count.  The graphs
+include multi-component unions and a single giant connected component that
+triggers the 2-hop-cluster fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_bridged_giant_component_graph, make_multi_component_graph
+
+from repro.api import (
+    enumerate_bsfbc,
+    enumerate_pbsfbc,
+    enumerate_pssfbc,
+    enumerate_ssfbc,
+)
+from repro.core.engine import plan
+from repro.core.models import FairnessParams
+from repro.graph.components import CLUSTER_STRATEGY
+
+#: (enumerate function, algorithm argument) -- the six named algorithms plus
+#: the two proportional models.
+ALGORITHMS = [
+    (enumerate_ssfbc, "fairbcem"),
+    (enumerate_ssfbc, "fairbcem++"),
+    (enumerate_ssfbc, "nsf"),
+    (enumerate_bsfbc, "bfairbcem"),
+    (enumerate_bsfbc, "bfairbcem++"),
+    (enumerate_bsfbc, "bnsf"),
+    (enumerate_pssfbc, None),
+    (enumerate_pbsfbc, None),
+]
+
+BACKENDS = ("bitset", "frozenset")
+
+#: Thresholds exercising single-branch units, small slices and "threshold
+#: larger than every shard" (split never triggers).
+THRESHOLDS = (1, 2, 3, 1000)
+
+
+def _call(enumerate_fn, graph, params, algorithm, backend, **engine_kwargs):
+    kwargs = dict(backend=backend, **engine_kwargs)
+    if algorithm is not None:
+        kwargs["algorithm"] = algorithm
+    return enumerate_fn(graph, params, **kwargs)
+
+
+def _deterministic_stats(result):
+    stats = result.stats
+    return (
+        stats.search_nodes,
+        stats.candidates_checked,
+        stats.maximal_bicliques_considered,
+    )
+
+
+def _assert_equivalent(split, unsplit):
+    assert [b.key for b in split.bicliques] == [b.key for b in unsplit.bicliques]
+    assert _deterministic_stats(split) == _deterministic_stats(unsplit)
+
+
+def multi_component_graph(seed, num_components):
+    return make_multi_component_graph(
+        [
+            (
+                3 + (seed + component) % 3,
+                3 + (seed + 2 * component) % 3,
+                0.55 + 0.1 * (component % 3),
+                seed * 1013 + component,
+            )
+            for component in range(num_components)
+        ],
+        isolated=True,
+        offset=50,
+    )
+
+
+@pytest.mark.parametrize("enumerate_fn,algorithm", ALGORITHMS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    seed=st.integers(0, 10_000),
+    num_components=st.integers(1, 3),
+    threshold=st.sampled_from(THRESHOLDS),
+)
+@settings(max_examples=8, deadline=None)
+def test_branch_split_equals_unsplit(
+    enumerate_fn, algorithm, backend, seed, num_components, threshold
+):
+    graph = multi_component_graph(seed, num_components)
+    params = FairnessParams(1 + seed % 2, 1, 1, theta=0.34)
+    unsplit = _call(enumerate_fn, graph, params, algorithm, backend, shard=True)
+    split = _call(
+        enumerate_fn, graph, params, algorithm, backend, branch_threshold=threshold
+    )
+    _assert_equivalent(split, unsplit)
+
+
+@pytest.mark.parametrize("enumerate_fn,algorithm", ALGORITHMS)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("threshold", (1, 2, 5))
+def test_branch_split_on_giant_component_two_hop_fallback(
+    enumerate_fn, algorithm, backend, threshold
+):
+    """The 2-hop fallback shards of one giant component split exactly too."""
+    graph = make_bridged_giant_component_graph(num_blocks=3)
+    params = FairnessParams(2, 1, 1, theta=0.3)
+    execution_plan = plan(graph, params, branch_threshold=threshold)
+    assert execution_plan.strategy == CLUSTER_STRATEGY
+    assert execution_plan.num_shards > 1
+    unsplit = _call(enumerate_fn, graph, params, algorithm, backend, shard=True)
+    split = _call(
+        enumerate_fn, graph, params, algorithm, backend, branch_threshold=threshold
+    )
+    _assert_equivalent(split, unsplit)
+    # Branch-splitting must also match the classic single-process path.
+    legacy = _call(enumerate_fn, graph, params, algorithm, backend)
+    assert split.as_set() == legacy.as_set()
+
+
+@pytest.mark.parametrize("enumerate_fn,algorithm", ALGORITHMS)
+@pytest.mark.parametrize("n_jobs", (1, 2))
+def test_branch_split_across_worker_counts(enumerate_fn, algorithm, n_jobs):
+    """Units scheduled across processes merge identically to in-process."""
+    graph = multi_component_graph(seed=6, num_components=2)
+    params = FairnessParams(1, 1, 1, theta=0.34)
+    unsplit = _call(enumerate_fn, graph, params, algorithm, "bitset", shard=True)
+    split = _call(
+        enumerate_fn,
+        graph,
+        params,
+        algorithm,
+        "bitset",
+        branch_threshold=2,
+        n_jobs=n_jobs,
+    )
+    _assert_equivalent(split, unsplit)
+
+
+def test_single_branch_units_partition_the_root():
+    """threshold=1 yields exactly one unit per lower vertex of each shard."""
+    graph = multi_component_graph(seed=3, num_components=2)
+    params = FairnessParams(1, 1, 1)
+    execution_plan = plan(graph, params, branch_threshold=1)
+    per_shard = {shard.index: shard.num_lower for shard in execution_plan.shards}
+    assert execution_plan.num_work_units == sum(per_shard.values())
+    seen = {shard_index: [] for shard_index in per_shard}
+    for unit in execution_plan.work_units:
+        assert unit.num_branches == 1
+        seen[unit.shard_index].append(unit.branch_slice)
+    for shard_index, slices in seen.items():
+        assert slices == [(i, i + 1) for i in range(per_shard[shard_index])]

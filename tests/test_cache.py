@@ -1,0 +1,301 @@
+"""Property and unit tests of the content-addressed shard result cache.
+
+Correctness contract: a cold run, a warm run and a parameter-sweep rerun
+produce byte-identical results; mutating one shard's content invalidates
+only that shard's fingerprint; corrupt or truncated on-disk entries are
+detected, deleted and recomputed -- never trusted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_multi_component_graph
+
+from repro.api import enumerate_bsfbc, enumerate_pssfbc, enumerate_ssfbc
+from repro.core.engine import (
+    ShardCache,
+    execute,
+    merge,
+    plan,
+    shard_cache_key,
+)
+from repro.core.engine.cache import resolve_cache, shard_fingerprint
+from repro.core.models import FairnessParams
+
+
+def sample_graph(seed=0, num_components=3):
+    return make_multi_component_graph(
+        [(5, 5, 0.6, seed * 97 + component) for component in range(num_components)]
+    )
+
+
+def result_bytes(result):
+    """Canonical byte serialisation used for byte-identity assertions."""
+    return pickle.dumps(
+        (
+            [b.key for b in result.bicliques],
+            result.stats.search_nodes,
+            result.stats.candidates_checked,
+            result.stats.maximal_bicliques_considered,
+            result.stats.upper_vertices_after_pruning,
+            result.stats.lower_vertices_after_pruning,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# cold / warm / sweep equivalence
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 2_000))
+@settings(max_examples=6, deadline=None)
+def test_cold_and_warm_runs_are_byte_identical(seed):
+    graph = sample_graph(seed)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    baseline = enumerate_ssfbc(graph, params, shard=True)
+    cold = enumerate_ssfbc(graph, params, cache=cache)
+    assert cache.stats.hits == 0 and cache.stats.stores > 0
+    warm = enumerate_ssfbc(graph, params, cache=cache)
+    assert cache.stats.hits == cache.stats.stores
+    assert result_bytes(cold) == result_bytes(warm) == result_bytes(baseline)
+
+
+def test_param_sweep_rerun_hits_every_shard():
+    """A repeated theta sweep answers every shard from the cache."""
+    graph = sample_graph(seed=5)
+    params = FairnessParams(1, 1, 1)
+    cache = ShardCache()
+    thetas = (0.1, 0.25, 0.4)
+    cold = [result_bytes(enumerate_pssfbc(graph, params, theta=t, cache=cache)) for t in thetas]
+    misses_after_cold = cache.stats.misses
+    warm = [result_bytes(enumerate_pssfbc(graph, params, theta=t, cache=cache)) for t in thetas]
+    assert warm == cold
+    # The warm sweep added no misses: every (shard, theta) was stored.
+    assert cache.stats.misses == misses_after_cold
+    assert cache.stats.hits >= cache.stats.stores
+
+
+def test_theta_is_normalised_out_of_non_proportional_keys():
+    """SSFBC ignores theta, so a theta sweep hits the cache from run two."""
+    graph = sample_graph(seed=7)
+    cache = ShardCache()
+    results = [
+        result_bytes(
+            enumerate_ssfbc(
+                graph, FairnessParams(2, 1, 1, theta=theta), cache=cache
+            )
+        )
+        for theta in (None, 0.2, 0.5)
+    ]
+    assert results[0] == results[1] == results[2]
+    # Only the first run missed; the two theta variants hit the same keys.
+    assert cache.stats.stores > 0
+    assert cache.stats.hits == 2 * cache.stats.stores
+
+
+def test_cache_with_parallel_and_branch_split_paths():
+    """Cache entries are identical across n_jobs / branch_threshold paths."""
+    graph = sample_graph(seed=9)
+    params = FairnessParams(1, 1, 1)
+    baseline = enumerate_bsfbc(graph, params, shard=True)
+    cache = ShardCache()
+    cold = enumerate_bsfbc(graph, params, branch_threshold=1, n_jobs=2, cache=cache)
+    warm = enumerate_bsfbc(graph, params, cache=cache)
+    assert result_bytes(cold) == result_bytes(warm) == result_bytes(baseline)
+    assert cache.stats.hits > 0
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def _shard_keys(graph, params):
+    execution_plan = plan(graph, params, model="ssfbc")
+    return {
+        frozenset(shard.graph.lower_vertices()): shard_cache_key(execution_plan, shard)
+        for shard in execution_plan.shards
+    }
+
+
+def test_mutating_one_shard_invalidates_only_that_shard():
+    graph = sample_graph(seed=11)
+    params = FairnessParams(1, 1, 1)
+    before = _shard_keys(graph, params)
+
+    # Remove one edge of exactly one component (ids 0..99 by construction).
+    edges = list(graph.edges())
+    target = next(edge for edge in edges if edge[0] < 100 and edge[1] < 100)
+    mutated = type(graph).from_edges(
+        [edge for edge in edges if edge != target],
+        graph.upper_attributes,
+        graph.lower_attributes,
+        upper_vertices=graph.upper_vertices(),
+        lower_vertices=graph.lower_vertices(),
+    )
+    after = _shard_keys(mutated, params)
+
+    changed = {
+        lowers
+        for lowers in (set(before) & set(after))
+        if before[lowers] != after[lowers]
+    }
+    untouched = {
+        lowers
+        for lowers in (set(before) & set(after))
+        if before[lowers] == after[lowers]
+    }
+    # Shards the mutation didn't touch keep their fingerprints; at least one
+    # other shard survives unchanged (pruning may reshape the mutated one).
+    assert untouched
+    for lowers in changed:
+        assert any(v < 100 for v in lowers)
+
+
+@given(seed=st.integers(0, 2_000))
+@settings(max_examples=8, deadline=None)
+def test_fingerprint_ignores_labels_and_construction_order(seed):
+    graph = sample_graph(seed, num_components=1)
+    params = FairnessParams(2, 1, 1)
+    key_kwargs = dict(
+        model="ssfbc",
+        algorithm="fairbcem++",
+        params=params,
+        ordering="degree",
+        backend="bitset",
+        lower_domain=graph.lower_attribute_domain,
+        upper_domain=graph.upper_attribute_domain,
+    )
+    reversed_edges = list(graph.edges())[::-1]
+    clone = type(graph).from_edges(
+        reversed_edges,
+        graph.upper_attributes,
+        graph.lower_attributes,
+        upper_vertices=graph.upper_vertices(),
+        lower_vertices=graph.lower_vertices(),
+        upper_labels={u: f"label-{u}" for u in graph.upper_vertices()},
+    )
+    assert shard_fingerprint(graph, **key_kwargs) == shard_fingerprint(clone, **key_kwargs)
+    # ... but the search parameters are part of the key.
+    other = dict(key_kwargs, params=FairnessParams(2, 2, 1))
+    assert shard_fingerprint(graph, **key_kwargs) != shard_fingerprint(graph, **other)
+    other = dict(key_kwargs, algorithm="fairbcem")
+    assert shard_fingerprint(graph, **key_kwargs) != shard_fingerprint(graph, **other)
+
+
+# ----------------------------------------------------------------------
+# on-disk store
+# ----------------------------------------------------------------------
+def _disk_entry_paths(directory):
+    return sorted(directory.rglob("*.json"))
+
+
+def test_disk_cache_persists_across_instances(tmp_path):
+    graph = sample_graph(seed=13)
+    params = FairnessParams(2, 1, 1)
+    cold = enumerate_ssfbc(graph, params, cache=str(tmp_path))
+    assert _disk_entry_paths(tmp_path)
+    # A fresh cache instance (fresh process in real life) reads the entries.
+    warm_cache = ShardCache(directory=tmp_path)
+    warm = enumerate_ssfbc(graph, params, cache=warm_cache)
+    assert result_bytes(cold) == result_bytes(warm)
+    assert warm_cache.stats.hits > 0 and warm_cache.stats.misses == 0
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        lambda blob: blob[: len(blob) // 2],  # truncated
+        lambda blob: b"garbage" + blob[7:],  # bad magic
+        lambda blob: blob[:-3] + b"xyz",  # checksum mismatch
+        lambda blob: b"",  # empty file
+    ],
+)
+def test_corrupt_disk_entries_are_recomputed_not_trusted(tmp_path, corruption):
+    graph = sample_graph(seed=17)
+    params = FairnessParams(2, 1, 1)
+    baseline = enumerate_ssfbc(graph, params, cache=str(tmp_path))
+    paths = _disk_entry_paths(tmp_path)
+    assert paths
+    for path in paths:
+        path.write_bytes(corruption(path.read_bytes()))
+
+    cache = ShardCache(directory=tmp_path)
+    recovered = enumerate_ssfbc(graph, params, cache=cache)
+    assert result_bytes(recovered) == result_bytes(baseline)
+    assert cache.stats.corrupt_entries == len(paths)
+    assert cache.stats.hits == 0
+    # The corrupt entries were rewritten and now validate again.
+    fresh = ShardCache(directory=tmp_path)
+    rewarm = enumerate_ssfbc(graph, params, cache=fresh)
+    assert result_bytes(rewarm) == result_bytes(baseline)
+    assert fresh.stats.corrupt_entries == 0 and fresh.stats.hits > 0
+
+
+def test_disk_entries_are_plain_json_not_pickle(tmp_path):
+    """Loading a cache entry must never be able to execute code: the
+    payload behind the header + checksum is required to be plain JSON."""
+    import hashlib
+    import json
+
+    graph = sample_graph(seed=29, num_components=1)
+    enumerate_ssfbc(graph, FairnessParams(2, 1, 1), cache=str(tmp_path))
+    (path,) = _disk_entry_paths(tmp_path)
+    blob = path.read_bytes()
+    magic = b"RPRO-SHARD-CACHE\n"
+    assert blob.startswith(magic)
+    payload = blob[len(magic) + hashlib.sha256().digest_size:]
+    decoded = json.loads(payload)  # raises if anything but JSON is stored
+    assert set(decoded) == {"bicliques", "stats"}
+
+
+def test_disk_write_failure_degrades_gracefully(tmp_path):
+    graph = sample_graph(seed=19, num_components=1)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache(directory=tmp_path)
+    os.chmod(tmp_path, 0o500)  # read-only directory: writes must not raise
+    try:
+        result = enumerate_ssfbc(graph, params, cache=cache)
+    finally:
+        os.chmod(tmp_path, 0o700)
+    assert result.as_set() == enumerate_ssfbc(graph, params).as_set()
+
+
+# ----------------------------------------------------------------------
+# memory layer / API
+# ----------------------------------------------------------------------
+def test_lru_eviction_keeps_results_correct():
+    graph = sample_graph(seed=21)
+    params = FairnessParams(1, 1, 1)
+    cache = ShardCache(max_entries=1)
+    baseline = enumerate_ssfbc(graph, params, shard=True)
+    first = enumerate_ssfbc(graph, params, cache=cache)
+    second = enumerate_ssfbc(graph, params, cache=cache)
+    assert result_bytes(first) == result_bytes(second) == result_bytes(baseline)
+    assert len(cache) == 1
+    assert cache.stats.evictions > 0
+
+
+def test_resolve_cache_knob():
+    cache = ShardCache()
+    assert resolve_cache(None) is None
+    assert resolve_cache(cache) is cache
+    with pytest.raises(TypeError):
+        resolve_cache(42)
+
+
+def test_execute_with_cache_skips_unit_dispatch():
+    graph = sample_graph(seed=23)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    execution_plan = plan(graph, params, model="ssfbc", branch_threshold=1)
+    cold = merge(execution_plan, execute(execution_plan, cache=cache))
+    lookups_after_cold = cache.stats.lookups
+    warm = merge(execution_plan, execute(execution_plan, cache=cache))
+    assert result_bytes(cold) == result_bytes(warm)
+    assert cache.stats.hits == execution_plan.num_shards
+    assert cache.stats.lookups == lookups_after_cold + execution_plan.num_shards

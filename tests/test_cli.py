@@ -143,6 +143,40 @@ def test_enumerate_with_jobs_matches_default(capsys):
     assert no_shard_output == baseline
 
 
+def test_enumerate_branch_threshold_matches_default(capsys):
+    arguments = [
+        "enumerate",
+        "--dataset", "dblp-small",
+        "--alpha", "2",
+        "--beta", "2",
+        "--count-only",
+    ]
+    assert main(arguments) == 0
+    baseline = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert main(arguments + ["--branch-threshold", "4"]) == 0
+    split_output = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert split_output == baseline
+
+
+def test_enumerate_cache_dir_round_trip(tmp_path, capsys):
+    cache_dir = tmp_path / "shard-cache"
+    arguments = [
+        "enumerate",
+        "--dataset", "dblp-small",
+        "--alpha", "2",
+        "--beta", "2",
+        "--count-only",
+        "--cache-dir", str(cache_dir),
+    ]
+    assert main(arguments) == 0
+    cold = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert list(cache_dir.rglob("*.json")), "cache directory stayed empty"
+    # Second invocation answers from the on-disk store, identically.
+    assert main(arguments) == 0
+    warm = capsys.readouterr().out.split(" fair bicliques")[0]
+    assert warm == cold
+
+
 def test_enumerate_parse_int_restores_integer_attributes(tmp_path, capsys):
     graph = make_graph(
         [(0, 0), (0, 1), (1, 0), (1, 1)],

@@ -1,0 +1,177 @@
+"""Direct edge-case tests of the 2-hop-cluster decomposition fallback.
+
+``graph/components.py`` was previously exercised only through engine
+equivalence tests; these tests pin down its behaviour on the degenerate
+shapes -- stars, paths, isolated vertices -- where the projection graph
+is edgeless or trivially connected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import make_graph
+
+from repro.graph.components import (
+    CLUSTER_STRATEGY,
+    COMPONENTS_STRATEGY,
+    connected_components,
+    decompose,
+    two_hop_lower_clusters,
+)
+
+
+def star_graph(num_leaves=6):
+    """One upper hub adjacent to every lower leaf."""
+    return make_graph(
+        [(0, v) for v in range(num_leaves)],
+        upper_attrs={0: "a"},
+        lower_attrs={v: "a" if v % 2 == 0 else "b" for v in range(num_leaves)},
+    )
+
+
+def inverted_star_graph(num_hubs=5):
+    """Every upper vertex adjacent to the single lower centre."""
+    return make_graph(
+        [(u, 0) for u in range(num_hubs)],
+        upper_attrs={u: "a" if u % 2 == 0 else "b" for u in range(num_hubs)},
+        lower_attrs={0: "a"},
+    )
+
+
+def path_graph(num_lowers=4):
+    """Alternating path u0 - v0 - u1 - v1 - ... (consecutive lowers share
+    exactly one upper vertex)."""
+    edges = []
+    for v in range(num_lowers):
+        edges.append((v, v))
+        edges.append((v + 1, v))
+    return make_graph(
+        edges,
+        upper_attrs={u: "a" for u in range(num_lowers + 1)},
+        lower_attrs={v: "a" if v % 2 == 0 else "b" for v in range(num_lowers)},
+    )
+
+
+# ----------------------------------------------------------------------
+# star graphs
+# ----------------------------------------------------------------------
+def test_star_alpha2_splits_into_singleton_clusters():
+    """Leaves share only the hub (one common neighbour), so the alpha=2
+    projection is edgeless: every leaf becomes its own cluster, each
+    carrying the hub on the upper side."""
+    graph = star_graph(num_leaves=6)
+    clusters = two_hop_lower_clusters(graph, alpha=2)
+    assert len(clusters) == 6
+    assert sorted(v for _, lowers in clusters for v in lowers) == list(range(6))
+    assert all(uppers == frozenset({0}) for uppers, _ in clusters)
+
+
+def test_star_alpha1_is_one_cluster():
+    graph = star_graph(num_leaves=5)
+    clusters = two_hop_lower_clusters(graph, alpha=1)
+    assert len(clusters) == 1
+    assert clusters[0] == (frozenset({0}), frozenset(range(5)))
+
+
+def test_inverted_star_is_one_cluster_with_all_hubs():
+    """A single lower vertex always forms one cluster carrying its whole
+    neighbourhood, whatever alpha says."""
+    graph = inverted_star_graph(num_hubs=5)
+    for alpha in (1, 2, 10):
+        clusters = two_hop_lower_clusters(graph, alpha=alpha)
+        assert clusters == [(frozenset(range(5)), frozenset({0}))]
+
+
+# ----------------------------------------------------------------------
+# path graphs
+# ----------------------------------------------------------------------
+def test_path_alpha2_splits_every_lower_vertex():
+    """Consecutive path lowers share exactly one upper, so alpha=2 gives
+    singleton clusters whose upper sides overlap (shared path uppers are
+    replicated)."""
+    graph = path_graph(num_lowers=4)
+    clusters = two_hop_lower_clusters(graph, alpha=2)
+    assert len(clusters) == 4
+    for uppers, lowers in clusters:
+        (v,) = lowers
+        assert uppers == frozenset({v, v + 1})
+
+
+def test_path_alpha1_stays_connected():
+    graph = path_graph(num_lowers=4)
+    clusters = two_hop_lower_clusters(graph, alpha=1)
+    assert len(clusters) == 1
+    assert clusters[0][1] == frozenset(range(4))
+
+
+def test_decompose_auto_on_path_with_alpha1_skips_fallback():
+    """The threshold-1 projection of a connected graph is connected, so
+    auto-decomposition must not attempt (and cannot profit from) the
+    fallback -- it reports plain connected components."""
+    graph = path_graph(num_lowers=4)
+    shards, strategy = decompose(graph, alpha=1, strategy="auto")
+    assert strategy == COMPONENTS_STRATEGY
+    assert len(shards) == 1
+
+
+def test_decompose_auto_on_path_with_alpha2_uses_fallback():
+    graph = path_graph(num_lowers=4)
+    shards, strategy = decompose(graph, alpha=2, strategy="auto")
+    assert strategy == CLUSTER_STRATEGY
+    assert len(shards) == 4
+
+
+# ----------------------------------------------------------------------
+# isolated vertices
+# ----------------------------------------------------------------------
+def isolated_upper_graph():
+    """A 2x2 block plus two all-isolated upper vertices."""
+    return make_graph(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attrs={0: "a", 1: "b", 10: "a", 11: "b"},
+        lower_attrs={0: "a", 1: "b"},
+    )
+
+
+def test_isolated_uppers_appear_in_no_cluster():
+    graph = isolated_upper_graph()
+    clusters = two_hop_lower_clusters(graph, alpha=1)
+    cluster_uppers = set().union(*(uppers for uppers, _ in clusters))
+    assert 10 not in cluster_uppers and 11 not in cluster_uppers
+    # ... while connected components report them as singletons.
+    components = connected_components(graph)
+    singletons = [c for c in components if not c[1]]
+    assert {frozenset({10}), frozenset({11})} == {c[0] for c in singletons}
+
+
+def test_all_isolated_uppers_yield_empty_sided_clusters():
+    """With no edges at all, every lower vertex is a singleton cluster with
+    an empty upper side (and is dropped by any biclique-seeking caller)."""
+    graph = make_graph(
+        [],
+        upper_attrs={0: "a", 1: "b"},
+        lower_attrs={10: "a", 11: "b"},
+    )
+    clusters = two_hop_lower_clusters(graph, alpha=2)
+    assert sorted(lowers for _, lowers in clusters) == [
+        frozenset({10}),
+        frozenset({11}),
+    ]
+    assert all(uppers == frozenset() for uppers, _ in clusters)
+
+
+def test_isolated_lower_vertices_form_singleton_clusters():
+    graph = make_graph(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attrs={0: "a", 1: "b"},
+        lower_attrs={0: "a", 1: "b", 20: "a"},
+    )
+    clusters = two_hop_lower_clusters(graph, alpha=1)
+    assert (frozenset(), frozenset({20})) in clusters
+    non_trivial = [c for c in clusters if c[0] and c[1]]
+    assert non_trivial == [(frozenset({0, 1}), frozenset({0, 1}))]
+
+
+def test_two_hop_rejects_alpha_below_one():
+    with pytest.raises(ValueError):
+        two_hop_lower_clusters(star_graph(), alpha=0)

@@ -3,7 +3,11 @@
 from __future__ import annotations
 
 import pytest
-from conftest import make_graph, make_multi_component_graph
+from conftest import (
+    make_bridged_giant_component_graph,
+    make_graph,
+    make_multi_component_graph,
+)
 
 from repro.api import enumerate_bsfbc, enumerate_ssfbc
 from repro.core.engine import execute, merge, plan, run
@@ -27,26 +31,8 @@ def multi_component_graph(num_components=3, side=5, probability=0.7, seed=0, iso
 
 
 def bridged_giant_component_graph():
-    """One connected graph whose alpha=2 2-hop projection splits in two.
-
-    Two complete 3x3 blocks share a single bridging upper vertex, so lower
-    vertices from different blocks have exactly one common neighbour.
-    """
-    edges = []
-    upper_attrs = {}
-    lower_attrs = {}
-    for block, offset in ((0, 0), (1, 10)):
-        for u in range(3):
-            upper_attrs[offset + u] = "a" if u % 2 == 0 else "b"
-            for v in range(3):
-                edges.append((offset + u, offset + v))
-        for v in range(3):
-            lower_attrs[offset + v] = "a" if v % 2 == 0 else "b"
-    bridge = 50
-    upper_attrs[bridge] = "a"
-    for v in (0, 1, 10, 11):
-        edges.append((bridge, v))
-    return make_graph(edges, upper_attrs, lower_attrs)
+    """One connected graph whose alpha=2 2-hop projection splits in two."""
+    return make_bridged_giant_component_graph(num_blocks=2)
 
 
 # ----------------------------------------------------------------------
@@ -268,3 +254,77 @@ def test_single_component_plan_reuses_pruned_graph():
     execution_plan = plan(graph, FairnessParams(1, 1, 1), model="ssfbc", pruning="none")
     assert execution_plan.num_shards == 1
     assert execution_plan.shards[0].graph is execution_plan.pruning_result.graph
+
+
+# ----------------------------------------------------------------------
+# plan-time empty-work dropping (regression: dispatched unit counts)
+# ----------------------------------------------------------------------
+def hopeless_and_fair_components_graph():
+    """Two components: one admits fair bicliques, one provably cannot.
+
+    Component A (ids 0..9) is a complete 3x3 block with both attribute
+    values on each side; component B (ids 100..109) is a complete 3x3 block
+    whose lower side carries only value "a", so with beta >= 1 it can never
+    contain a fair set over the global {a, b} domain.
+    """
+    edges = []
+    upper_attrs = {}
+    lower_attrs = {}
+    for offset, lower_values in ((0, ("a", "b", "a")), (100, ("a", "a", "a"))):
+        for u in range(3):
+            upper_attrs[offset + u] = "a" if u % 2 == 0 else "b"
+            for v in range(3):
+                edges.append((offset + u, offset + v))
+        for v, value in enumerate(lower_values):
+            lower_attrs[offset + v] = value
+    return make_graph(edges, upper_attrs, lower_attrs)
+
+
+def test_plan_drops_shards_that_cannot_admit_results():
+    """A shard with no surviving vertex of some lower attribute value is
+    dropped at plan time instead of being dispatched as empty work."""
+    graph = hopeless_and_fair_components_graph()
+    params = FairnessParams(1, 1, 1)
+    execution_plan = plan(graph, params, model="ssfbc", pruning="none")
+    # Only the fair component survives: one shard, one dispatched unit.
+    assert execution_plan.num_shards == 1
+    assert execution_plan.num_work_units == 1
+    assert all(v < 100 for v in execution_plan.shards[0].graph.lower_vertices())
+    # Dropping the hopeless shard loses no results.
+    engine_result = run(graph, params, model="ssfbc", pruning="none")
+    legacy = fair_bcem_pp(graph, params, pruning="none")
+    assert engine_result.as_set() == legacy.as_set()
+    assert len(engine_result) > 0
+
+
+def test_plan_drops_shards_below_side_minimums():
+    """Shards smaller than the thresholds allow are not dispatched."""
+    graph = multi_component_graph(num_components=2, side=3, isolated=False)
+    # beta=50 per value is unreachable for 3 lower vertices; with pruning
+    # disabled only the plan-time filter stands between us and empty work.
+    execution_plan = plan(
+        graph, FairnessParams(1, 50, 50), model="ssfbc", pruning="none"
+    )
+    assert execution_plan.num_shards == 0
+    assert execution_plan.num_work_units == 0
+    assert execute(execution_plan) == []
+
+
+def test_work_units_cover_each_shard_exactly_once():
+    """Branch slices of every shard partition [0, num_lower)."""
+    graph = multi_component_graph(num_components=3, side=5)
+    execution_plan = plan(graph, FairnessParams(1, 1, 1), branch_threshold=2)
+    by_shard = {}
+    for unit in execution_plan.work_units:
+        by_shard.setdefault(unit.shard_index, []).append(unit.branch_slice)
+    assert set(by_shard) == {shard.index for shard in execution_plan.shards}
+    for shard in execution_plan.shards:
+        slices = by_shard[shard.index]
+        if shard.num_lower <= 2:
+            assert slices == [None]
+            continue
+        assert slices[0][0] == 0
+        assert slices[-1][1] == shard.num_lower
+        for left, right in zip(slices, slices[1:]):
+            assert left[1] == right[0]
+        assert all(0 < stop - start <= 2 for start, stop in slices)
