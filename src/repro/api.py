@@ -40,7 +40,10 @@ Every ``enumerate_*`` function accepts four engine knobs:
     a disk-backed one).  Shard outcomes are stored under content-addressed
     fingerprints -- canonical edge set, attribute assignment and search
     parameters -- so repeated sweeps reuse every shard they have seen
-    before.  Implies the engine.
+    before.  The same store also caches the *plan-stage pruning* keep-sets
+    under a full-graph fingerprint keyed on ``(graph, alpha, beta,
+    technique, sidedness)``, so a warm sweep skips the FCore/CFCore
+    peeling entirely.  Implies the engine.
 
 The engine returns the identical biclique set as the single-process path;
 only the result ordering (canonical) and the statistics aggregation differ.

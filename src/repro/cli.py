@@ -32,6 +32,8 @@ from repro.api import (
 )
 from repro.core.models import FairnessParams
 from repro.core.pruning.cfcore import (
+    DEFAULT_PRUNING_IMPL,
+    KNOWN_PRUNING_IMPLS,
     bi_colorful_fair_core,
     bi_fair_core_pruning,
     colorful_fair_core,
@@ -156,9 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         metavar="DIR",
-        help="content-addressed shard result cache directory; repeated runs "
-        "and parameter sweeps reuse every shard whose fingerprint (edge set, "
-        "attributes, search params) is already stored; engages the engine",
+        help="content-addressed result cache directory; repeated runs and "
+        "parameter sweeps reuse every shard whose fingerprint (edge set, "
+        "attributes, search params) is already stored, and warm runs skip "
+        "the plan-stage pruning via its full-graph fingerprint; engages "
+        "the engine",
     )
     enum_parser.add_argument(
         "--count-only", action="store_true", help="print only the number of results"
@@ -171,6 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(prune_parser)
     _add_params_arguments(prune_parser)
     prune_parser.add_argument("--technique", choices=sorted(_PRUNERS), default="cfcore")
+    prune_parser.add_argument(
+        "--impl",
+        choices=list(KNOWN_PRUNING_IMPLS),
+        default=DEFAULT_PRUNING_IMPL,
+        help="pruning substrate: bitset (dense bitmask pipeline, the default) "
+        "or dict (the reference path); keep-sets are identical either way",
+    )
+    prune_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="slice the pruning's initial violation scans over this many "
+        "worker processes (0: one per CPU; small graphs always run serially)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run a paper experiment and print its table"
@@ -224,7 +242,7 @@ def _run_enumerate(args: argparse.Namespace) -> int:
 def _run_prune(args: argparse.Namespace) -> int:
     graph = _load_input_graph(args)
     pruner = _PRUNERS[args.technique]
-    outcome = pruner(graph, args.alpha, args.beta)
+    outcome = pruner(graph, args.alpha, args.beta, impl=args.impl, n_jobs=args.jobs)
     rows = [
         ("vertices before", outcome.vertices_before),
         ("vertices after", outcome.vertices_after),
@@ -232,6 +250,8 @@ def _run_prune(args: argparse.Namespace) -> int:
         ("reduction ratio", outcome.reduction_ratio),
         ("elapsed seconds", outcome.elapsed_seconds),
     ]
+    for stage, seconds in outcome.stage_timings.items():
+        rows.append((f"stage {stage} seconds", seconds))
     print(format_table(["metric", "value"], rows, title=f"{args.technique} on the input graph"))
     return 0
 

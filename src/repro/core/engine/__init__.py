@@ -34,6 +34,7 @@ from typing import Optional
 from repro.core.engine.cache import (
     CacheStats,
     ShardCache,
+    pruning_fingerprint,
     resolve_cache,
     shard_fingerprint,
 )
@@ -61,6 +62,7 @@ from repro.core.engine.planner import (
 )
 from repro.core.enumeration._common import DEFAULT_BACKEND, Timer
 from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.pruning.cfcore import DEFAULT_PRUNING_IMPL
 from repro.core.models import EnumerationResult, FairnessParams
 from repro.graph.bipartite import AttributedBipartiteGraph
 from repro.graph.components import AUTO_STRATEGY
@@ -83,6 +85,7 @@ __all__ = [
     "execute",
     "merge",
     "plan",
+    "pruning_fingerprint",
     "resolve_algorithm",
     "resolve_cache",
     "resolve_n_jobs",
@@ -106,20 +109,24 @@ def run(
     strategy: str = AUTO_STRATEGY,
     branch_threshold: Optional[int] = None,
     cache: "ShardCache | str | os.PathLike | None" = None,
+    pruning_impl: str = DEFAULT_PRUNING_IMPL,
 ) -> EnumerationResult:
     """Run the full staged pipeline and return the merged result.
 
     Parameters mirror the :mod:`repro.api` ``enumerate_*`` functions plus
     the engine knobs: ``n_jobs`` (``1`` serial, ``> 1`` process fan-out,
-    ``<= 0`` one worker per CPU), ``shard`` (decompose the pruned graph or
-    treat it as a single shard), ``strategy`` (``"auto"``,
-    ``"components"``, ``"cluster"`` or ``"none"``), ``branch_threshold``
-    (split shards with more top-level branches than this into independent
-    branch-level work units) and ``cache`` (a
-    :class:`~repro.core.engine.cache.ShardCache` or a directory path; shard
-    outcomes are reused across runs by content-addressed fingerprint).
+    ``<= 0`` one worker per CPU; also slices the pruning's violation
+    scans), ``shard`` (decompose the pruned graph or treat it as a single
+    shard), ``strategy`` (``"auto"``, ``"components"``, ``"cluster"`` or
+    ``"none"``), ``branch_threshold`` (split shards with more top-level
+    branches than this into independent branch-level work units),
+    ``cache`` (a :class:`~repro.core.engine.cache.ShardCache` or a
+    directory path; shard outcomes *and* plan-stage pruning keep-sets are
+    reused across runs by content-addressed fingerprint) and
+    ``pruning_impl`` (``"bitset"`` default / ``"dict"`` reference).
     """
     timer = Timer()
+    cache_store = resolve_cache(cache)
     execution_plan = plan(
         graph,
         params,
@@ -131,6 +138,9 @@ def run(
         shard=shard,
         strategy=strategy,
         branch_threshold=branch_threshold,
+        pruning_impl=pruning_impl,
+        n_jobs=n_jobs,
+        cache=cache_store,
     )
-    outcomes = execute(execution_plan, n_jobs=n_jobs, cache=resolve_cache(cache))
+    outcomes = execute(execution_plan, n_jobs=n_jobs, cache=cache_store)
     return merge(execution_plan, outcomes, elapsed_seconds=timer.elapsed())

@@ -1,4 +1,4 @@
-"""Content-addressed cache of per-shard enumeration outcomes.
+"""Content-addressed cache of per-shard enumeration and pruning outcomes.
 
 An :class:`~repro.core.engine.planner.ExecutionPlan` is a pure description
 and every shard of it is content-addressable: the biclique set (and the
@@ -8,6 +8,16 @@ against, and the search parameters.  :func:`shard_fingerprint` hashes
 exactly those inputs into a stable hex key, and :class:`ShardCache` maps the
 key to the shard's ``(bicliques, stats)`` outcome through an in-memory LRU
 backed by an optional on-disk store.
+
+The *plan stage* is content-addressable the same way: the keep-sets of
+FCore / BFCore / CFCore / BCFCore depend only on the full input graph, the
+``(alpha, beta)`` thresholds, the technique and the sidedness.
+:func:`pruning_fingerprint` hashes those inputs into a second, disjoint
+key space, and :meth:`ShardCache.get_payload` / :meth:`~ShardCache.put_payload`
+store the pruning keep-sets (plus stage counters and timings) as plain
+JSON payloads in the very same LRU + disk store -- so a warm sweep skips
+the peeling loops entirely and ``plan()`` degenerates to one induced
+subgraph build.
 
 The payoff is reuse across repeated sweeps: an experiment (or a dashboard)
 that re-enumerates the same graph -- or varies only parameters that leave
@@ -31,6 +41,7 @@ cannot execute code.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
 import json
@@ -39,7 +50,7 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.models import Biclique, EnumerationStats, FairnessParams
 from repro.graph.attributes import AttributeValue
@@ -58,27 +69,35 @@ _MAGIC = b"RPRO-SHARD-CACHE\n"
 ShardEntry = Tuple[List[Biclique], EnumerationStats]
 
 
-def _encode_entry(entry: ShardEntry) -> bytes:
-    """Serialise one entry as compact JSON (safe to load from any source)."""
+def _entry_payload(entry: ShardEntry) -> Any:
+    """Shard entry as a plain JSON-serialisable payload."""
     bicliques, stats = entry
-    payload = {
+    return {
         "bicliques": [
             [sorted(biclique.upper), sorted(biclique.lower)] for biclique in bicliques
         ],
         "stats": dataclasses.asdict(stats),
     }
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
-def _decode_entry(blob: bytes) -> ShardEntry:
-    """Inverse of :func:`_encode_entry`; raises on any malformed payload."""
-    payload = json.loads(blob.decode("utf-8"))
+def _entry_from_payload(payload: Any) -> ShardEntry:
+    """Inverse of :func:`_entry_payload`; raises on any malformed payload."""
     bicliques = [
         Biclique(frozenset(upper), frozenset(lower))
         for upper, lower in payload["bicliques"]
     ]
     stats = EnumerationStats(**payload["stats"])
     return bicliques, stats
+
+
+def _encode_payload(payload: Any) -> bytes:
+    """Serialise a payload as compact JSON (safe to load from any source)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _decode_payload(blob: bytes) -> Any:
+    """Inverse of :func:`_encode_payload`; raises on any malformed blob."""
+    return json.loads(blob.decode("utf-8"))
 
 
 def _canonical_domain(domain: Sequence[AttributeValue]) -> Tuple[str, ...]:
@@ -116,6 +135,38 @@ def shard_fingerprint(
         (params.alpha, params.beta, params.delta, theta),
         _canonical_domain(lower_domain),
         _canonical_domain(upper_domain),
+        tuple(sorted(graph.edges())),
+        tuple((u, repr(graph.upper_attribute(u))) for u in graph.upper_vertices()),
+        tuple((v, repr(graph.lower_attribute(v))) for v in graph.lower_vertices()),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def pruning_fingerprint(
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    technique: str,
+    bi_side: bool,
+) -> str:
+    """Content-addressed key of one pruning (plan-stage) outcome.
+
+    The keep-sets of every core are fully determined by the *full* input
+    graph (canonical edge set plus both attribute assignments, isolated
+    vertices included), the ``(alpha, beta)`` thresholds, the technique and
+    the sidedness -- ``delta``, ``theta``, the search algorithm, ordering,
+    backend and worker counts all leave the pruning unchanged and are
+    normalised out.  The leading ``"pruning"`` tag keeps this key space
+    disjoint from :func:`shard_fingerprint`.
+    """
+    payload = (
+        "pruning",
+        CACHE_FORMAT_VERSION,
+        technique,
+        bool(bi_side),
+        (alpha, beta),
+        _canonical_domain(graph.lower_attribute_domain),
+        _canonical_domain(graph.upper_attribute_domain),
         tuple(sorted(graph.edges())),
         tuple((u, repr(graph.upper_attribute(u))) for u in graph.upper_vertices()),
         tuple((v, repr(graph.lower_attribute(v))) for v in graph.lower_vertices()),
@@ -165,34 +216,67 @@ class ShardCache:
         self.max_entries = max_entries
         self.directory = Path(directory) if directory is not None else None
         self.stats = CacheStats()
-        self._memory: "OrderedDict[str, ShardEntry]" = OrderedDict()
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
-    # public API
+    # public API -- shard entries
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[ShardEntry]:
-        """Look ``key`` up; ``None`` on miss (or invalid on-disk entry)."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            return self._copy(entry)
-        entry = self._disk_get(key)
-        if entry is not None:
-            self._memory_put(key, entry)
-            self.stats.hits += 1
-            return self._copy(entry)
-        self.stats.misses += 1
-        return None
+        """Look a shard outcome up; ``None`` on miss (or invalid entry)."""
+        payload = self._lookup_payload(key)
+        if payload is None:
+            return None
+        # Decoding builds fresh containers, so callers can't mutate cached
+        # state.  A payload that passed the checksum but does not decode
+        # into a shard entry (schema drift, tampering) is discarded and
+        # reported as a miss -- never trusted, never raised.
+        try:
+            return _entry_from_payload(payload)
+        except Exception:
+            self._discard_invalid(key)
+            return None
 
     def put(self, key: str, bicliques: List[Biclique], stats: EnumerationStats) -> None:
         """Store one shard outcome under ``key`` (memory and disk layers)."""
-        entry: ShardEntry = (list(bicliques), dataclasses.replace(stats))
-        self._memory_put(key, entry)
-        self._disk_put(key, entry)
+        # _entry_payload already builds a private snapshot; no extra copy.
+        self._store_payload(key, _entry_payload((bicliques, stats)))
+
+    # ------------------------------------------------------------------
+    # public API -- raw JSON payloads (pruning results, future stages)
+    # ------------------------------------------------------------------
+    def get_payload(self, key: str) -> Optional[Any]:
+        """Look a raw JSON payload up; ``None`` on miss or invalid entry."""
+        payload = self._lookup_payload(key)
+        if payload is None:
+            return None
+        return copy.deepcopy(payload)
+
+    def put_payload(self, key: str, payload: Any) -> None:
+        """Store a JSON-serialisable payload under ``key`` (both layers)."""
+        self._store_payload(key, copy.deepcopy(payload))
+
+    def _store_payload(self, key: str, payload: Any) -> None:
+        self._memory_put(key, payload)
+        self._disk_put(key, payload)
         self.stats.stores += 1
+
+    def _discard_invalid(self, key: str) -> None:
+        """Drop a checksum-valid entry whose payload failed to decode.
+
+        The lookup already counted a hit; re-book it as a corrupt miss so
+        the counters reflect what the caller observed.
+        """
+        self.stats.corrupt_entries += 1
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self._memory.pop(key, None)
+        if self.directory is not None:
+            try:
+                self._disk_path(key).unlink()
+            except OSError:
+                pass
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer is left untouched)."""
@@ -209,18 +293,27 @@ class ShardCache:
     # ------------------------------------------------------------------
     # memory layer
     # ------------------------------------------------------------------
-    @staticmethod
-    def _copy(entry: ShardEntry) -> ShardEntry:
-        """Hand out fresh containers so callers can't mutate cached state."""
-        bicliques, stats = entry
-        return list(bicliques), dataclasses.replace(stats)
+    def _lookup_payload(self, key: str) -> Optional[Any]:
+        """Payload behind ``key`` without the defensive copy (counts stats)."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return payload
+        payload = self._disk_get(key)
+        if payload is not None:
+            self._memory_put(key, payload)
+            self.stats.hits += 1
+            return payload
+        self.stats.misses += 1
+        return None
 
-    def _memory_put(self, key: str, entry: ShardEntry) -> None:
+    def _memory_put(self, key: str, payload: Any) -> None:
         if self.max_entries == 0:
             return
         if key in self._memory:
             self._memory.move_to_end(key)
-        self._memory[key] = entry
+        self._memory[key] = payload
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
@@ -232,7 +325,7 @@ class ShardCache:
         assert self.directory is not None
         return self.directory / key[:2] / f"{key}.json"
 
-    def _disk_get(self, key: str) -> Optional[ShardEntry]:
+    def _disk_get(self, key: str) -> Optional[Any]:
         if self.directory is None:
             return None
         path = self._disk_path(key)
@@ -249,7 +342,7 @@ class ShardCache:
             payload = blob[payload_start:]
             if hashlib.sha256(payload).digest() != digest:
                 raise ValueError("checksum mismatch")
-            return _decode_entry(payload)
+            return _decode_payload(payload)
         except Exception:
             # Corrupt, truncated or otherwise unreadable: never trust it.
             self.stats.corrupt_entries += 1
@@ -259,16 +352,16 @@ class ShardCache:
                 pass
             return None
 
-    def _disk_put(self, key: str, entry: ShardEntry) -> None:
+    def _disk_put(self, key: str, payload: Any) -> None:
         if self.directory is None:
             return
         path = self._disk_path(key)
         try:
-            payload = _encode_entry(entry)
+            blob = _encode_payload(payload)
         except (TypeError, ValueError):
             # Non-JSON-serialisable vertex ids: skip the disk layer.
             return
-        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        blob = _MAGIC + hashlib.sha256(blob).digest() + blob
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.core.engine.cache import ShardCache, pruning_fingerprint
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
     validate_alpha,
@@ -32,7 +33,12 @@ from repro.core.enumeration._common import (
 )
 from repro.core.enumeration.ordering import DEGREE_ORDER
 from repro.core.models import FairnessParams
-from repro.core.pruning.cfcore import PruningResult, prune_for_model
+from repro.core.pruning.cfcore import (
+    DEFAULT_PRUNING_IMPL,
+    PruningResult,
+    prune_for_model,
+    validate_pruning_impl,
+)
 from repro.graph.attributes import AttributeValue
 from repro.graph.bipartite import AttributedBipartiteGraph
 from repro.graph.components import AUTO_STRATEGY, NO_SHARDING, decompose
@@ -214,6 +220,118 @@ def _branch_work_units(
     return units
 
 
+def _jsonable_stages(stages: dict) -> dict:
+    """Stage dict normalised for JSON storage (tuples become lists)."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in stages.items()
+    }
+
+
+def _stages_from_payload(stages: dict) -> dict:
+    """Inverse of :func:`_jsonable_stages` (2-element lists back to tuples)."""
+    return {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in stages.items()
+    }
+
+
+def _pruning_payload(result: PruningResult) -> dict:
+    """JSON payload of one pruning outcome: keep-sets plus stage counters."""
+    return {
+        "technique": result.technique,
+        "upper": sorted(result.graph.upper_vertices()),
+        "lower": sorted(result.graph.lower_vertices()),
+        "stages": _jsonable_stages(result.stages),
+    }
+
+
+def _pruning_result_from_payload(
+    graph: AttributedBipartiteGraph, payload: dict, started: float
+) -> PruningResult:
+    """Rebuild a :class:`PruningResult` from a cached payload.
+
+    The pruned graph is re-materialised as an induced subgraph of the
+    *current* input graph, so a hit never trusts the cache for anything
+    but the keep-sets themselves.  ``stages`` gains a ``plan_cache: hit``
+    marker; the recorded timings are the original compute's.  Raises on
+    any payload that doesn't match the expected schema (the caller then
+    recomputes).
+    """
+    if not (
+        isinstance(payload, dict)
+        and isinstance(payload.get("upper"), list)
+        and isinstance(payload.get("lower"), list)
+        and isinstance(payload.get("technique"), str)
+        and isinstance(payload.get("stages", {}), dict)
+    ):
+        raise ValueError("malformed pruning cache payload")
+    pruned = graph.induced_subgraph(payload["upper"], payload["lower"])
+    stages = _stages_from_payload(payload.get("stages", {}))
+    stages["plan_cache"] = "hit"
+    return PruningResult(
+        graph=pruned,
+        upper_before=graph.num_upper,
+        lower_before=graph.num_lower,
+        upper_after=pruned.num_upper,
+        lower_after=pruned.num_lower,
+        elapsed_seconds=time.perf_counter() - started,
+        technique=payload["technique"],
+        stages=stages,
+    )
+
+
+def _prune_with_cache(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    bi_side: bool,
+    pruning: str,
+    pruning_impl: str,
+    n_jobs: int,
+    cache: Optional[ShardCache],
+) -> PruningResult:
+    """Run (or replay) the plan-stage pruning.
+
+    With a ``cache``, the keep-sets are stored under
+    :func:`~repro.core.engine.cache.pruning_fingerprint`; a warm sweep
+    skips FCore/CFCore peeling entirely and pays only for one induced
+    subgraph build.  ``technique="none"`` is the identity and is never
+    cached.
+    """
+    if cache is None or pruning == "none":
+        return prune_for_model(
+            graph,
+            params.alpha,
+            params.beta,
+            bi_side=bi_side,
+            technique=pruning,
+            impl=pruning_impl,
+            n_jobs=n_jobs,
+        )
+    started = time.perf_counter()
+    key = pruning_fingerprint(graph, params.alpha, params.beta, pruning, bi_side)
+    payload = cache.get_payload(key)
+    if payload is not None:
+        try:
+            return _pruning_result_from_payload(graph, payload, started)
+        except Exception:
+            # A checksum-valid entry whose payload doesn't fit the schema
+            # (version drift, tampering): never trust it -- recompute and
+            # overwrite the entry below.
+            pass
+    result = prune_for_model(
+        graph,
+        params.alpha,
+        params.beta,
+        bi_side=bi_side,
+        technique=pruning,
+        impl=pruning_impl,
+        n_jobs=n_jobs,
+    )
+    cache.put_payload(key, _pruning_payload(result))
+    return result
+
+
 @dataclass
 class ExecutionPlan:
     """Everything the execute / merge stages need, computed once."""
@@ -261,6 +379,9 @@ def plan(
     shard: bool = True,
     strategy: str = AUTO_STRATEGY,
     branch_threshold: Optional[int] = None,
+    pruning_impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
+    cache: Optional[ShardCache] = None,
 ) -> ExecutionPlan:
     """Build the :class:`ExecutionPlan` for one enumeration request.
 
@@ -272,15 +393,23 @@ def plan(
     provably cannot contain a fair biclique (a side missing an attribute
     value, or too small for the thresholds) are dropped here rather than
     dispatched as empty work.
+
+    ``pruning_impl`` selects the pruning substrate (``"bitset"`` default,
+    ``"dict"`` reference -- identical keep-sets either way) and ``n_jobs``
+    slices the pruning's initial violation scans over the worker pool.
+    With a ``cache``, the pruning keep-sets are stored under the full-graph
+    :func:`~repro.core.engine.cache.pruning_fingerprint` so a warm sweep
+    skips the plan-stage peeling entirely.
     """
     started = time.perf_counter()
     algorithm = resolve_algorithm(model, algorithm)
     validate_alpha(params.alpha)
     validate_backend(backend)
+    validate_pruning_impl(pruning_impl)
     bi_side = model in BI_SIDE_MODELS
 
-    pruning_result = prune_for_model(
-        graph, params.alpha, params.beta, bi_side=bi_side, technique=pruning
+    pruning_result = _prune_with_cache(
+        graph, params, bi_side, pruning, pruning_impl, n_jobs, cache
     )
     pruned = pruning_result.graph
 

@@ -14,24 +14,54 @@ enumeration algorithms without losing any result:
   core (``CFCore``, Algorithm 2).
 * :func:`~repro.core.pruning.cfcore.bi_colorful_fair_core` -- bi-side
   variant (``BCFCore``).
+
+Every core runs on one of two substrates selected by the ``impl`` knob of
+the :mod:`~repro.core.pruning.cfcore` entry points: the dense bitmask
+pipeline of :mod:`~repro.core.pruning.bitset_impl` (default; keep-sets
+byte-identical to the reference) or the original dict-of-dict path.
 """
 
-from repro.core.pruning.colorful_core import ego_colorful_core, ego_colorful_degrees
+from repro.core.pruning.bitset_impl import (
+    bi_colorful_fair_core_bitset,
+    bi_fair_core_bitset,
+    colorful_fair_core_bitset,
+    fair_core_bitset,
+)
+from repro.core.pruning.colorful_core import (
+    ego_colorful_core,
+    ego_colorful_core_masks,
+    ego_colorful_degrees,
+)
 from repro.core.pruning.cfcore import (
+    DEFAULT_PRUNING_IMPL,
+    KNOWN_PRUNING_IMPLS,
     PruningResult,
     bi_colorful_fair_core,
+    bi_fair_core_pruning,
     colorful_fair_core,
+    fair_core_pruning,
     prune_for_model,
+    validate_pruning_impl,
 )
 from repro.core.pruning.fcore import bi_fair_core, fair_core
 
 __all__ = [
+    "DEFAULT_PRUNING_IMPL",
+    "KNOWN_PRUNING_IMPLS",
     "PruningResult",
     "bi_colorful_fair_core",
+    "bi_colorful_fair_core_bitset",
     "bi_fair_core",
+    "bi_fair_core_bitset",
+    "bi_fair_core_pruning",
     "colorful_fair_core",
+    "colorful_fair_core_bitset",
     "ego_colorful_core",
+    "ego_colorful_core_masks",
     "ego_colorful_degrees",
     "fair_core",
+    "fair_core_bitset",
+    "fair_core_pruning",
     "prune_for_model",
+    "validate_pruning_impl",
 ]

@@ -1,0 +1,451 @@
+"""Bitset-native pruning pipeline (Algorithms 1-3 on dense bitmask rows).
+
+The dict reference implementations in :mod:`repro.core.pruning.fcore` and
+:mod:`repro.core.pruning.colorful_core` spend their time in per-neighbour
+dict and ``set`` operations.  This module re-runs the same peeling loops on
+the :class:`~repro.graph.bitset.BitsetGraph` substrate the enumerators
+already use: per-vertex attribute-degree counters become flat per-value
+count arrays computed as one popcount per (vertex, value) against the
+side's attribute-value bitmasks, alive-sets become bitmasks, and the 2-hop
+projection plus the greedy coloring and ego-colorful peeling operate on
+mask rows without ever materialising an intermediate graph object.
+
+Every routine returns *exactly* the keep-set of its dict twin (the cores
+are unique and the greedy coloring order is reproduced bit for bit --
+property-tested in ``tests/test_pruning_bitset_property.py``); only the
+constant factors change.
+
+The initial violation scans -- the embarrassingly parallel part of the
+peeling -- are sliced over vertex ranges and can be dispatched over a
+process pool via ``n_jobs``, mirroring the engine's ``n_jobs`` knob.  On a
+single-CPU host the slicing is gated behind :data:`PARALLEL_MIN_VERTICES`
+so the speedup comes from doing less work per vertex, never from paying
+process overhead for small graphs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Set, Tuple
+
+from repro.core.pruning.colorful_core import ego_colorful_core_masks
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.bitset import BitsetGraph, iter_set_bits, popcount
+from repro.graph.projection import bi_two_hop_mask_rows, two_hop_mask_rows
+
+#: Below this many scanned vertices the violation scan always runs
+#: in-process: dispatching a worker pool costs more than the scan itself.
+PARALLEL_MIN_VERTICES = 4096
+
+#: ``(keep_upper_ids, keep_lower_ids)`` -- the contract of the dict cores.
+KeepSets = Tuple[Set[int], Set[int]]
+
+
+# ----------------------------------------------------------------------
+# parallel violation scan
+# ----------------------------------------------------------------------
+def _count_scan_chunk(args) -> Tuple[List[List[int]], List[bool]]:
+    """Per-vertex per-value popcounts + violation flags for one row slice.
+
+    ``args`` is ``(rows, value_masks, threshold)`` where every row is
+    already restricted to the alive opposite side.  Module-level (and
+    single-argument) so it pickles under every process start method.
+    """
+    rows, value_masks, threshold = args
+    counts: List[List[int]] = []
+    violates: List[bool] = []
+    for row in rows:
+        per_value = [popcount(row & mask) for mask in value_masks]
+        counts.append(per_value)
+        violates.append(any(count < threshold for count in per_value))
+    return counts, violates
+
+
+def _effective_scan_jobs(n_jobs: int, num_rows: int) -> int:
+    """Worker count for one scan (``<= 0`` means one per CPU, small scans stay serial)."""
+    if n_jobs is None or n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    if num_rows < PARALLEL_MIN_VERTICES:
+        return 1
+    return max(1, min(n_jobs, num_rows))
+
+
+def _scan_attribute_counts(
+    rows: List[int], value_masks: List[int], threshold: int, n_jobs: int
+) -> Tuple[List[List[int]], List[bool]]:
+    """Attribute-degree scan over ``rows``, sliced over vertex ranges.
+
+    The scan is embarrassingly parallel (each vertex's counters depend on
+    its own row only), so slicing the row list and concatenating the chunk
+    results is exact whatever the worker count.
+    """
+    jobs = _effective_scan_jobs(n_jobs, len(rows))
+    if jobs == 1:
+        return _count_scan_chunk((rows, value_masks, threshold))
+    chunk_size = -(-len(rows) // jobs)  # ceil division
+    chunks = [
+        (rows[start : start + chunk_size], value_masks, threshold)
+        for start in range(0, len(rows), chunk_size)
+    ]
+    counts: List[List[int]] = []
+    violates: List[bool] = []
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        for chunk_counts, chunk_violates in pool.map(_count_scan_chunk, chunks):
+            counts.extend(chunk_counts)
+            violates.extend(chunk_violates)
+    return counts, violates
+
+
+# ----------------------------------------------------------------------
+# fair α-β core on masks
+# ----------------------------------------------------------------------
+def _alive_value_masks(
+    attribute_masks: Dict, alive: int
+) -> List[Tuple[object, int]]:
+    """Per-value masks restricted to the alive side; absent values drop out.
+
+    Restricting to the alive vertices makes the value list *the domain of
+    the alive-induced subgraph*, which is exactly the domain the dict path
+    sees when it re-runs a core on an induced subgraph.
+    """
+    return [
+        (value, mask & alive)
+        for value, mask in attribute_masks.items()
+        if mask & alive
+    ]
+
+
+def fair_core_masks(
+    bitset_graph: BitsetGraph,
+    alpha: int,
+    beta: int,
+    alive_upper: int,
+    alive_lower: int,
+    n_jobs: int = 1,
+) -> Tuple[int, int]:
+    """Fair α-β core of the alive-induced subgraph, as bitmasks.
+
+    Mirrors :func:`repro.core.pruning.fcore.fair_core` on the subgraph
+    induced by ``(alive_upper, alive_lower)``: per-value thresholds are
+    judged against the attribute values present on the alive lower side
+    (= that subgraph's domain), and an empty lower side with ``beta > 0``
+    empties both sides.
+    """
+    values = _alive_value_masks(bitset_graph.lower_attribute_masks(), alive_lower)
+    if beta > 0 and not values:
+        return 0, 0
+    value_masks = [mask for _, mask in values]
+    value_index = {value: position for position, (value, _) in enumerate(values)}
+
+    upper_rows = bitset_graph.upper_rows
+    lower_rows = bitset_graph.lower_rows
+    alive_uppers = list(iter_set_bits(alive_upper))
+    scan_rows = [upper_rows[i] & alive_lower for i in alive_uppers]
+    scan_counts, scan_violates = _scan_attribute_counts(
+        scan_rows, value_masks, beta, n_jobs
+    )
+
+    queue = deque()
+    removed_upper = 0
+    removed_lower = 0
+    counts: Dict[int, List[int]] = {}
+    for position, i in enumerate(alive_uppers):
+        counts[i] = scan_counts[position]
+        if scan_violates[position]:
+            removed_upper |= 1 << i
+            queue.append((True, i))
+    degree: Dict[int, int] = {}
+    for j in iter_set_bits(alive_lower):
+        degree[j] = popcount(lower_rows[j] & alive_upper)
+        if degree[j] < alpha:
+            removed_lower |= 1 << j
+            queue.append((False, j))
+
+    lower_attributes = bitset_graph.lower_attributes
+    while queue:
+        is_upper, index = queue.popleft()
+        if is_upper:
+            for j in iter_set_bits(upper_rows[index] & alive_lower & ~removed_lower):
+                degree[j] -= 1
+                if degree[j] < alpha:
+                    removed_lower |= 1 << j
+                    queue.append((False, j))
+        else:
+            position = value_index[lower_attributes[index]]
+            for i in iter_set_bits(lower_rows[index] & alive_upper & ~removed_upper):
+                vertex_counts = counts[i]
+                vertex_counts[position] -= 1
+                if vertex_counts[position] < beta:
+                    removed_upper |= 1 << i
+                    queue.append((True, i))
+
+    return alive_upper & ~removed_upper, alive_lower & ~removed_lower
+
+
+def bi_fair_core_masks(
+    bitset_graph: BitsetGraph,
+    alpha: int,
+    beta: int,
+    alive_upper: int,
+    alive_lower: int,
+    n_jobs: int = 1,
+) -> Tuple[int, int]:
+    """Bi-fair α-β core of the alive-induced subgraph, as bitmasks.
+
+    Mirrors :func:`repro.core.pruning.fcore.bi_fair_core`: both sides carry
+    per-opposite-value counters and cascade symmetrically.
+    """
+    lower_values = _alive_value_masks(
+        bitset_graph.lower_attribute_masks(), alive_lower
+    )
+    upper_values = _alive_value_masks(
+        bitset_graph.upper_attribute_masks(), alive_upper
+    )
+    if (beta > 0 and not lower_values) or (alpha > 0 and not upper_values):
+        return 0, 0
+    lower_value_masks = [mask for _, mask in lower_values]
+    upper_value_masks = [mask for _, mask in upper_values]
+    lower_value_index = {v: p for p, (v, _) in enumerate(lower_values)}
+    upper_value_index = {v: p for p, (v, _) in enumerate(upper_values)}
+
+    upper_rows = bitset_graph.upper_rows
+    lower_rows = bitset_graph.lower_rows
+    alive_uppers = list(iter_set_bits(alive_upper))
+    alive_lowers = list(iter_set_bits(alive_lower))
+    upper_scan, upper_violates = _scan_attribute_counts(
+        [upper_rows[i] & alive_lower for i in alive_uppers],
+        lower_value_masks,
+        beta,
+        n_jobs,
+    )
+    lower_scan, lower_violates = _scan_attribute_counts(
+        [lower_rows[j] & alive_upper for j in alive_lowers],
+        upper_value_masks,
+        alpha,
+        n_jobs,
+    )
+
+    queue = deque()
+    removed_upper = 0
+    removed_lower = 0
+    upper_counts: Dict[int, List[int]] = {}
+    lower_counts: Dict[int, List[int]] = {}
+    for position, i in enumerate(alive_uppers):
+        upper_counts[i] = upper_scan[position]
+        if upper_violates[position]:
+            removed_upper |= 1 << i
+            queue.append((True, i))
+    for position, j in enumerate(alive_lowers):
+        lower_counts[j] = lower_scan[position]
+        if lower_violates[position]:
+            removed_lower |= 1 << j
+            queue.append((False, j))
+
+    upper_attributes = bitset_graph.upper_attributes
+    lower_attributes = bitset_graph.lower_attributes
+    while queue:
+        is_upper, index = queue.popleft()
+        if is_upper:
+            position = upper_value_index[upper_attributes[index]]
+            for j in iter_set_bits(upper_rows[index] & alive_lower & ~removed_lower):
+                vertex_counts = lower_counts[j]
+                vertex_counts[position] -= 1
+                if vertex_counts[position] < alpha:
+                    removed_lower |= 1 << j
+                    queue.append((False, j))
+        else:
+            position = lower_value_index[lower_attributes[index]]
+            for i in iter_set_bits(lower_rows[index] & alive_upper & ~removed_upper):
+                vertex_counts = upper_counts[i]
+                vertex_counts[position] -= 1
+                if vertex_counts[position] < beta:
+                    removed_upper |= 1 << i
+                    queue.append((True, i))
+
+    return alive_upper & ~removed_upper, alive_lower & ~removed_lower
+
+
+# ----------------------------------------------------------------------
+# public keep-set entry points
+# ----------------------------------------------------------------------
+def _keep_sets(bitset_graph: BitsetGraph, upper_mask: int, lower_mask: int) -> KeepSets:
+    return (
+        set(bitset_graph.upper_ids_of_mask(upper_mask)),
+        set(bitset_graph.lower_ids_of_mask(lower_mask)),
+    )
+
+
+def fair_core_bitset(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int, n_jobs: int = 1
+) -> KeepSets:
+    """Bitset ``FCore``: keep-sets identical to :func:`~repro.core.pruning.fcore.fair_core`."""
+    bitset_graph = BitsetGraph(graph)
+    upper_mask, lower_mask = fair_core_masks(
+        bitset_graph,
+        alpha,
+        beta,
+        bitset_graph.full_upper_mask,
+        bitset_graph.full_lower_mask,
+        n_jobs=n_jobs,
+    )
+    return _keep_sets(bitset_graph, upper_mask, lower_mask)
+
+
+def bi_fair_core_bitset(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int, n_jobs: int = 1
+) -> KeepSets:
+    """Bitset ``BFCore``: keep-sets identical to :func:`~repro.core.pruning.fcore.bi_fair_core`."""
+    bitset_graph = BitsetGraph(graph)
+    upper_mask, lower_mask = bi_fair_core_masks(
+        bitset_graph,
+        alpha,
+        beta,
+        bitset_graph.full_upper_mask,
+        bitset_graph.full_lower_mask,
+        n_jobs=n_jobs,
+    )
+    return _keep_sets(bitset_graph, upper_mask, lower_mask)
+
+
+def _degree_filter(rows: Dict[int, int], threshold: int) -> Tuple[int, Dict[int, int]]:
+    """Drop projection vertices of degree below ``threshold`` (one pass, no cascade)."""
+    survivors = 0
+    for j, row in rows.items():
+        if popcount(row) >= threshold:
+            survivors |= 1 << j
+    restricted = {j: rows[j] & survivors for j in iter_set_bits(survivors)}
+    return survivors, restricted
+
+
+def colorful_fair_core_bitset(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int, n_jobs: int = 1
+) -> Tuple[Set[int], Set[int], Dict]:
+    """Bitset ``CFCore`` pipeline (Algorithm 2).
+
+    Returns ``(upper_keep, lower_keep, stages)`` where ``stages`` carries
+    the same per-stage counts as the dict pipeline plus a ``"timings"``
+    sub-dict of per-stage wall-clock seconds.
+    """
+    timings: Dict[str, float] = {}
+    stages: Dict = {"timings": timings}
+    bitset_graph = BitsetGraph(graph)
+    lower_domain = graph.lower_attribute_domain
+
+    started = time.perf_counter()
+    alive_upper, alive_lower = fair_core_masks(
+        bitset_graph,
+        alpha,
+        beta,
+        bitset_graph.full_upper_mask,
+        bitset_graph.full_lower_mask,
+        n_jobs=n_jobs,
+    )
+    timings["fcore"] = time.perf_counter() - started
+    stages["after_fcore"] = (popcount(alive_upper), popcount(alive_lower))
+
+    if not alive_upper or not alive_lower:
+        return set(), set(), stages
+
+    started = time.perf_counter()
+    rows = two_hop_mask_rows(bitset_graph, alive_upper, alive_lower, alpha)
+    degree_threshold = len(lower_domain) * beta - 1
+    survivors, restricted_rows = _degree_filter(rows, degree_threshold)
+    timings["projection"] = time.perf_counter() - started
+    stages["after_projection_degree"] = popcount(survivors)
+
+    colorful, coloring_seconds, peeling_seconds = ego_colorful_core_masks(
+        bitset_graph.lower_attributes, restricted_rows, survivors, beta, lower_domain
+    )
+    timings["coloring"] = coloring_seconds
+    timings["peeling"] = peeling_seconds
+    stages["after_ego_colorful_core"] = popcount(colorful)
+
+    started = time.perf_counter()
+    final_upper, final_lower = fair_core_masks(
+        bitset_graph, alpha, beta, alive_upper, colorful, n_jobs=n_jobs
+    )
+    timings["second_fcore"] = time.perf_counter() - started
+    stages["after_second_fcore"] = (popcount(final_upper), popcount(final_lower))
+    upper_keep, lower_keep = _keep_sets(bitset_graph, final_upper, final_lower)
+    return upper_keep, lower_keep, stages
+
+
+def bi_colorful_fair_core_bitset(
+    graph: AttributedBipartiteGraph, alpha: int, beta: int, n_jobs: int = 1
+) -> Tuple[Set[int], Set[int], Dict]:
+    """Bitset ``BCFCore`` pipeline (both-side projection + peeling)."""
+    timings: Dict[str, float] = {}
+    stages: Dict = {"timings": timings}
+    bitset_graph = BitsetGraph(graph)
+    lower_domain = graph.lower_attribute_domain
+    upper_domain = graph.upper_attribute_domain
+
+    started = time.perf_counter()
+    alive_upper, alive_lower = bi_fair_core_masks(
+        bitset_graph,
+        alpha,
+        beta,
+        bitset_graph.full_upper_mask,
+        bitset_graph.full_lower_mask,
+        n_jobs=n_jobs,
+    )
+    timings["bfcore"] = time.perf_counter() - started
+    stages["after_bfcore"] = (popcount(alive_upper), popcount(alive_lower))
+
+    if not alive_upper or not alive_lower:
+        return set(), set(), stages
+
+    # Lower-side projection: common neighbours per upper attribute value.
+    started = time.perf_counter()
+    lower_rows = bi_two_hop_mask_rows(
+        bitset_graph, alive_lower, alive_upper, alpha, fair_side="lower"
+    )
+    lower_threshold = len(lower_domain) * beta - 1
+    lower_survivors, lower_restricted = _degree_filter(lower_rows, lower_threshold)
+    timings["projection_lower"] = time.perf_counter() - started
+    lower_core, coloring_seconds, peeling_seconds = ego_colorful_core_masks(
+        bitset_graph.lower_attributes,
+        lower_restricted,
+        lower_survivors,
+        beta,
+        lower_domain,
+    )
+    timings["coloring_lower"] = coloring_seconds
+    timings["peeling_lower"] = peeling_seconds
+    stages["lower_after_ego_colorful_core"] = popcount(lower_core)
+    alive_lower = lower_core
+
+    if not alive_lower or not alive_upper:
+        return set(), set(), stages
+
+    # Upper-side projection: common neighbours per lower attribute value.
+    started = time.perf_counter()
+    upper_rows = bi_two_hop_mask_rows(
+        bitset_graph, alive_upper, alive_lower, beta, fair_side="upper"
+    )
+    upper_threshold = len(upper_domain) * alpha - 1
+    upper_survivors, upper_restricted = _degree_filter(upper_rows, upper_threshold)
+    timings["projection_upper"] = time.perf_counter() - started
+    upper_core, coloring_seconds, peeling_seconds = ego_colorful_core_masks(
+        bitset_graph.upper_attributes,
+        upper_restricted,
+        upper_survivors,
+        alpha,
+        upper_domain,
+    )
+    timings["coloring_upper"] = coloring_seconds
+    timings["peeling_upper"] = peeling_seconds
+    stages["upper_after_ego_colorful_core"] = popcount(upper_core)
+    alive_upper = upper_core
+
+    started = time.perf_counter()
+    final_upper, final_lower = bi_fair_core_masks(
+        bitset_graph, alpha, beta, alive_upper, alive_lower, n_jobs=n_jobs
+    )
+    timings["second_bfcore"] = time.perf_counter() - started
+    stages["after_second_bfcore"] = (popcount(final_upper), popcount(final_lower))
+    upper_keep, lower_keep = _keep_sets(bitset_graph, final_upper, final_lower)
+    return upper_keep, lower_keep, stages

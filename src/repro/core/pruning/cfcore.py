@@ -17,18 +17,56 @@ biclique induces on the fair side:
 ``BCFCore`` repeats the projection/peeling step for both sides using the
 per-attribute 2-hop graph of Algorithm 8 and the bi-fair core of
 Definition 13.
+
+Implementations
+---------------
+Every pruning entry point takes an ``impl`` knob selecting the execution
+substrate:
+
+* ``"bitset"`` (default) -- the whole pipeline runs on dense bitmask rows
+  (:mod:`repro.core.pruning.bitset_impl`): flat per-value popcount
+  counters, mask-level projection / coloring / peeling, and ``n_jobs``
+  slicing of the initial violation scans.
+* ``"dict"`` -- the original dict-of-dict reference path.
+
+Both return byte-identical keep-sets (cross-implementation property
+tests); ``impl`` only changes the constant factors.  Every
+:class:`PruningResult` additionally records per-stage wall-clock timings
+in ``stages["timings"]``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Set
+from typing import Dict, Set
 
+from repro.core.pruning.bitset_impl import (
+    bi_colorful_fair_core_bitset,
+    bi_fair_core_bitset,
+    colorful_fair_core_bitset,
+    fair_core_bitset,
+)
 from repro.core.pruning.colorful_core import ego_colorful_core
 from repro.core.pruning.fcore import bi_fair_core, fair_core
 from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.coloring import greedy_coloring
 from repro.graph.projection import build_bi_two_hop_graph, build_two_hop_graph
+
+#: Pruning implementations accepted by the ``impl`` knob.
+KNOWN_PRUNING_IMPLS = ("bitset", "dict")
+
+#: The bitset path is the default everywhere; the dict path is the
+#: reference implementation the property tests compare against.
+DEFAULT_PRUNING_IMPL = "bitset"
+
+
+def validate_pruning_impl(impl: str) -> None:
+    """Raise ``ValueError`` unless ``impl`` names a known implementation."""
+    if impl not in KNOWN_PRUNING_IMPLS:
+        raise ValueError(
+            f"unknown pruning impl {impl!r}; expected one of {sorted(KNOWN_PRUNING_IMPLS)}"
+        )
 
 
 @dataclass
@@ -64,6 +102,11 @@ class PruningResult:
         """Fraction of vertices removed (0 when the graph was empty)."""
         return self.vertices_removed / self.vertices_before if self.vertices_before else 0.0
 
+    @property
+    def stage_timings(self) -> Dict[str, float]:
+        """Per-stage wall-clock seconds recorded by the pipeline."""
+        return self.stages.get("timings", {})
+
 
 def _finish(
     graph: AttributedBipartiteGraph,
@@ -87,66 +130,121 @@ def _finish(
 
 
 def fair_core_pruning(
-    graph: AttributedBipartiteGraph, alpha: int, beta: int
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
 ) -> PruningResult:
     """Run ``FCore`` and package the result."""
+    validate_pruning_impl(impl)
     started = time.perf_counter()
-    upper_keep, lower_keep = fair_core(graph, alpha, beta)
-    return _finish(graph, upper_keep, lower_keep, started, "fcore", {})
+    if impl == "bitset":
+        upper_keep, lower_keep = fair_core_bitset(graph, alpha, beta, n_jobs=n_jobs)
+    else:
+        upper_keep, lower_keep = fair_core(graph, alpha, beta)
+    stages = {"timings": {"fcore": time.perf_counter() - started}}
+    return _finish(graph, upper_keep, lower_keep, started, "fcore", stages)
 
 
 def bi_fair_core_pruning(
-    graph: AttributedBipartiteGraph, alpha: int, beta: int
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
 ) -> PruningResult:
     """Run ``BFCore`` and package the result."""
+    validate_pruning_impl(impl)
     started = time.perf_counter()
-    upper_keep, lower_keep = bi_fair_core(graph, alpha, beta)
-    return _finish(graph, upper_keep, lower_keep, started, "bfcore", {})
+    if impl == "bitset":
+        upper_keep, lower_keep = bi_fair_core_bitset(graph, alpha, beta, n_jobs=n_jobs)
+    else:
+        upper_keep, lower_keep = bi_fair_core(graph, alpha, beta)
+    stages = {"timings": {"bfcore": time.perf_counter() - started}}
+    return _finish(graph, upper_keep, lower_keep, started, "bfcore", stages)
 
 
 def colorful_fair_core(
-    graph: AttributedBipartiteGraph, alpha: int, beta: int
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
 ) -> PruningResult:
     """Colorful fair α-β core pruning (``CFCore``, Algorithm 2)."""
+    validate_pruning_impl(impl)
     started = time.perf_counter()
-    lower_domain = graph.lower_attribute_domain
-    stages: dict = {}
+    if impl == "bitset":
+        upper_keep, lower_keep, stages = colorful_fair_core_bitset(
+            graph, alpha, beta, n_jobs=n_jobs
+        )
+        return _finish(graph, upper_keep, lower_keep, started, "cfcore", stages)
 
+    lower_domain = graph.lower_attribute_domain
+    timings: Dict[str, float] = {}
+    stages = {"timings": timings}
+
+    stage_start = time.perf_counter()
     upper_keep, lower_keep = fair_core(graph, alpha, beta)
+    timings["fcore"] = time.perf_counter() - stage_start
     stages["after_fcore"] = (len(upper_keep), len(lower_keep))
     core = graph.induced_subgraph(upper_keep, lower_keep)
 
     if core.num_lower == 0 or core.num_upper == 0:
         return _finish(graph, set(), set(), started, "cfcore", stages)
 
+    stage_start = time.perf_counter()
     projection = build_two_hop_graph(core, alpha)
     degree_threshold = len(lower_domain) * beta - 1
     survivors = {
         v for v in projection.vertices() if projection.degree(v) >= degree_threshold
     }
     projection = projection.induced_subgraph(survivors)
+    timings["projection"] = time.perf_counter() - stage_start
     stages["after_projection_degree"] = len(survivors)
 
-    colorful = ego_colorful_core(projection, beta, domain=lower_domain)
+    stage_start = time.perf_counter()
+    colors = greedy_coloring(projection)
+    timings["coloring"] = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
+    colorful = ego_colorful_core(projection, beta, domain=lower_domain, colors=colors)
+    timings["peeling"] = time.perf_counter() - stage_start
     stages["after_ego_colorful_core"] = len(colorful)
 
+    stage_start = time.perf_counter()
     final_upper, final_lower = fair_core(
         core.induced_subgraph(None, colorful), alpha, beta
     )
+    timings["second_fcore"] = time.perf_counter() - stage_start
     stages["after_second_fcore"] = (len(final_upper), len(final_lower))
     return _finish(graph, final_upper, final_lower, started, "cfcore", stages)
 
 
 def bi_colorful_fair_core(
-    graph: AttributedBipartiteGraph, alpha: int, beta: int
+    graph: AttributedBipartiteGraph,
+    alpha: int,
+    beta: int,
+    impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
 ) -> PruningResult:
     """Bi-side colorful fair α-β core pruning (``BCFCore``)."""
+    validate_pruning_impl(impl)
     started = time.perf_counter()
+    if impl == "bitset":
+        upper_keep, lower_keep, stages = bi_colorful_fair_core_bitset(
+            graph, alpha, beta, n_jobs=n_jobs
+        )
+        return _finish(graph, upper_keep, lower_keep, started, "bcfcore", stages)
+
     lower_domain = graph.lower_attribute_domain
     upper_domain = graph.upper_attribute_domain
-    stages: dict = {}
+    timings: Dict[str, float] = {}
+    stages = {"timings": timings}
 
+    stage_start = time.perf_counter()
     upper_keep, lower_keep = bi_fair_core(graph, alpha, beta)
+    timings["bfcore"] = time.perf_counter() - stage_start
     stages["after_bfcore"] = (len(upper_keep), len(lower_keep))
     core = graph.induced_subgraph(upper_keep, lower_keep)
 
@@ -154,6 +252,7 @@ def bi_colorful_fair_core(
         return _finish(graph, set(), set(), started, "bcfcore", stages)
 
     # Lower-side projection: common neighbours per upper attribute value.
+    stage_start = time.perf_counter()
     lower_projection = build_bi_two_hop_graph(core, alpha, fair_side="lower")
     lower_threshold = len(lower_domain) * beta - 1
     lower_survivors = {
@@ -162,7 +261,15 @@ def bi_colorful_fair_core(
         if lower_projection.degree(v) >= lower_threshold
     }
     lower_projection = lower_projection.induced_subgraph(lower_survivors)
-    lower_core = ego_colorful_core(lower_projection, beta, domain=lower_domain)
+    timings["projection_lower"] = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
+    lower_colors = greedy_coloring(lower_projection)
+    timings["coloring_lower"] = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
+    lower_core = ego_colorful_core(
+        lower_projection, beta, domain=lower_domain, colors=lower_colors
+    )
+    timings["peeling_lower"] = time.perf_counter() - stage_start
     stages["lower_after_ego_colorful_core"] = len(lower_core)
     core = core.induced_subgraph(None, lower_core)
 
@@ -170,6 +277,7 @@ def bi_colorful_fair_core(
         return _finish(graph, set(), set(), started, "bcfcore", stages)
 
     # Upper-side projection: common neighbours per lower attribute value.
+    stage_start = time.perf_counter()
     upper_projection = build_bi_two_hop_graph(core, beta, fair_side="upper")
     upper_threshold = len(upper_domain) * alpha - 1
     upper_survivors = {
@@ -178,11 +286,21 @@ def bi_colorful_fair_core(
         if upper_projection.degree(u) >= upper_threshold
     }
     upper_projection = upper_projection.induced_subgraph(upper_survivors)
-    upper_core = ego_colorful_core(upper_projection, alpha, domain=upper_domain)
+    timings["projection_upper"] = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
+    upper_colors = greedy_coloring(upper_projection)
+    timings["coloring_upper"] = time.perf_counter() - stage_start
+    stage_start = time.perf_counter()
+    upper_core = ego_colorful_core(
+        upper_projection, alpha, domain=upper_domain, colors=upper_colors
+    )
+    timings["peeling_upper"] = time.perf_counter() - stage_start
     stages["upper_after_ego_colorful_core"] = len(upper_core)
     core = core.induced_subgraph(upper_core, None)
 
+    stage_start = time.perf_counter()
     final_upper, final_lower = bi_fair_core(core, alpha, beta)
+    timings["second_bfcore"] = time.perf_counter() - stage_start
     stages["after_second_bfcore"] = (len(final_upper), len(final_lower))
     return _finish(graph, final_upper, final_lower, started, "bcfcore", stages)
 
@@ -193,11 +311,15 @@ def prune_for_model(
     beta: int,
     bi_side: bool = False,
     technique: str = "colorful",
+    impl: str = DEFAULT_PRUNING_IMPL,
+    n_jobs: int = 1,
 ) -> PruningResult:
-    """Dispatch helper used by the enumeration algorithms.
+    """Dispatch helper used by the enumeration algorithms and the engine.
 
     ``technique`` is one of ``"none"``, ``"core"`` (FCore / BFCore) or
-    ``"colorful"`` (CFCore / BCFCore).
+    ``"colorful"`` (CFCore / BCFCore); ``impl`` selects the execution
+    substrate (``"bitset"`` default, ``"dict"`` reference) and ``n_jobs``
+    slices the initial violation scans over the worker pool.
     """
     if technique == "none":
         return PruningResult(
@@ -210,7 +332,9 @@ def prune_for_model(
             technique="none",
         )
     if technique == "core":
-        return bi_fair_core_pruning(graph, alpha, beta) if bi_side else fair_core_pruning(graph, alpha, beta)
+        pruner = bi_fair_core_pruning if bi_side else fair_core_pruning
+        return pruner(graph, alpha, beta, impl=impl, n_jobs=n_jobs)
     if technique == "colorful":
-        return bi_colorful_fair_core(graph, alpha, beta) if bi_side else colorful_fair_core(graph, alpha, beta)
+        pruner = bi_colorful_fair_core if bi_side else colorful_fair_core
+        return pruner(graph, alpha, beta, impl=impl, n_jobs=n_jobs)
     raise ValueError(f"unknown pruning technique {technique!r}")

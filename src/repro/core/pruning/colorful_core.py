@@ -15,11 +15,13 @@ what makes this peeling a lossless pruning step for the enumeration problem.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.graph.attributes import AttributeValue
-from repro.graph.coloring import greedy_coloring
+from repro.graph.bitset import iter_set_bits, popcount
+from repro.graph.coloring import greedy_coloring, greedy_coloring_masks
 from repro.graph.unipartite import AttributedGraph
 
 
@@ -115,3 +117,91 @@ def ego_colorful_core(
                         queue.append(w)
 
     return vertices - removed
+
+
+def ego_colorful_core_masks(
+    attributes: Sequence[AttributeValue],
+    rows: Mapping[int, int],
+    vertices_mask: int,
+    k: int,
+    domain: Sequence[AttributeValue],
+) -> Tuple[int, float, float]:
+    """Mask-level twin of :func:`ego_colorful_core`.
+
+    ``attributes`` is the per-dense-index value table of the projected
+    side, ``rows[j]`` the projection adjacency bitmask of index ``j``
+    restricted to ``vertices_mask`` (the degree-filtered survivors), and
+    ``domain`` the attribute domain fairness is judged against (the
+    *original* bipartite graph's fair-side domain, exactly like the dict
+    path).  The initial ``(value, color)`` counters are one popcount per
+    (vertex, group) against the coloring's group bitmasks instead of one
+    dict op per ego-network member; the cascade then mirrors the dict
+    peeling, so the surviving mask equals the dict keep-set bit for bit.
+
+    Returns ``(core_mask, coloring_seconds, peeling_seconds)`` so callers
+    can report the two stages separately.
+    """
+    if k <= 0:
+        return vertices_mask, 0.0, 0.0
+    domain = tuple(domain)
+    if not domain:
+        return 0, 0.0, 0.0
+    vertices = list(iter_set_bits(vertices_mask))
+    present_values = {attributes[j] for j in vertices}
+    if any(a not in present_values for a in domain):
+        return 0, 0.0, 0.0
+
+    started = time.perf_counter()
+    colors, _color_masks = greedy_coloring_masks(rows, vertices_mask)
+    coloring_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    group_masks: Dict[Tuple[AttributeValue, int], int] = {}
+    for j in vertices:
+        key = (attributes[j], colors[j])
+        group_masks[key] = group_masks.get(key, 0) | (1 << j)
+    group_items = list(group_masks.items())
+
+    # color_count[j][(value, color)] = alive members of N(j) ∪ {j} carrying
+    # the combination; ego_degree[j][value] = distinct colors among them.
+    color_count: Dict[int, Dict[Tuple[AttributeValue, int], int]] = {}
+    ego_degree: Dict[int, Dict[AttributeValue, int]] = {}
+    for j in vertices:
+        ego = rows[j] | (1 << j)
+        counts: Dict[Tuple[AttributeValue, int], int] = {}
+        degrees = dict.fromkeys(domain, 0)
+        for key, group in group_items:
+            overlap = ego & group
+            if overlap:
+                counts[key] = popcount(overlap)
+                value = key[0]
+                if value in degrees:
+                    degrees[value] += 1
+        color_count[j] = counts
+        ego_degree[j] = degrees
+
+    removed = 0
+    queue = deque()
+    for j in vertices:
+        degrees = ego_degree[j]
+        if any(degrees[a] < k for a in domain):
+            removed |= 1 << j
+            queue.append(j)
+
+    while queue:
+        v = queue.popleft()
+        value = attributes[v]
+        key = (value, colors[v])
+        for w in iter_set_bits(rows[v] & ~removed):
+            counts = color_count[w]
+            counts[key] -= 1
+            if counts[key] <= 0:
+                del counts[key]
+                degrees = ego_degree[w]
+                if value in degrees:
+                    degrees[value] -= 1
+                    if degrees[value] < k:
+                        removed |= 1 << w
+                        queue.append(w)
+    peeling_seconds = time.perf_counter() - started
+    return vertices_mask & ~removed, coloring_seconds, peeling_seconds

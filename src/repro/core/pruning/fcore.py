@@ -79,7 +79,6 @@ def fair_core(
     while queue:
         side, vertex = queue.popleft()
         if side == "U":
-            value_of_removed = None
             for v in graph.neighbors_of_upper(vertex):
                 if v in removed_lower:
                     continue
@@ -87,7 +86,6 @@ def fair_core(
                 if degree[v] < alpha:
                     removed_lower.add(v)
                     queue.append(("V", v))
-            del value_of_removed
         else:
             value = graph.lower_attribute(vertex)
             for u in graph.neighbors_of_lower(vertex):

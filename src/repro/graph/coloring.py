@@ -10,8 +10,9 @@ to the degeneracy bound.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Mapping, Tuple
 
+from repro.graph.bitset import iter_set_bits, popcount
 from repro.graph.unipartite import AttributedGraph
 
 
@@ -32,6 +33,39 @@ def greedy_coloring(graph: AttributedGraph) -> Dict[int, int]:
             color += 1
         colors[vertex] = color
     return colors
+
+
+def greedy_coloring_masks(
+    rows: Mapping[int, int], vertices_mask: int
+) -> Tuple[Dict[int, int], List[int]]:
+    """Mask-level twin of :func:`greedy_coloring`.
+
+    ``rows[j]`` is the adjacency bitmask of dense index ``j`` restricted to
+    ``vertices_mask``.  Vertices are processed in non-increasing
+    popcount-degree order with ties broken by dense index; because the
+    bitset compaction assigns dense indices in ascending vertex-id order,
+    this is exactly the ``(-degree, id)`` order of the dict path, so the
+    two implementations produce the identical coloring.
+
+    Returns ``(colors, color_masks)``: the per-index color assignment plus
+    one bitmask per color (the vertices carrying it), which the ego
+    colorful peeling uses for its word-parallel ``(value, color)`` group
+    counts.
+    """
+    order = sorted(iter_set_bits(vertices_mask), key=lambda j: (-popcount(rows[j]), j))
+    colors: Dict[int, int] = {}
+    color_masks: List[int] = []
+    for j in order:
+        row = rows[j]
+        color = 0
+        num_colors = len(color_masks)
+        while color < num_colors and (color_masks[color] & row):
+            color += 1
+        if color == num_colors:
+            color_masks.append(0)
+        color_masks[color] |= 1 << j
+        colors[j] = color
+    return colors, color_masks
 
 
 def color_count(colors: Dict[int, int]) -> int:

@@ -31,7 +31,7 @@ from collections import Counter, defaultdict
 from typing import Dict, Iterable, List, Optional
 
 from repro.graph.bipartite import AttributedBipartiteGraph
-from repro.graph.bitset import iter_set_bits, popcount
+from repro.graph.bitset import BitsetGraph, iter_set_bits, popcount
 from repro.graph.unipartite import AttributedGraph
 
 
@@ -158,6 +158,91 @@ def build_bi_two_hop_graph(
                 edges.append((w, v))
     attributes = {v: fair_attribute(v) for v in vertices}
     return AttributedGraph.from_edges(edges, attributes, vertices=vertices)
+
+
+def two_hop_mask_rows(
+    bitset_graph: BitsetGraph, alive_upper: int, alive_lower: int, alpha: int
+) -> Dict[int, int]:
+    """Mask-level single-side 2-hop projection (Algorithm 3).
+
+    The bitset pruning pipeline never materialises the projection as an
+    :class:`AttributedGraph`: it only needs adjacency bitmasks over the
+    lower-side dense index space.  ``rows[j]`` is the bitmask of alive
+    lower vertices sharing at least ``alpha`` alive-upper common
+    neighbours with ``j``; only indices set in ``alive_lower`` appear as
+    keys.  Produces exactly the edge set :func:`build_two_hop_graph`
+    builds on the alive-induced subgraph.
+    """
+    lower_rows = bitset_graph.lower_rows
+    upper_rows = bitset_graph.upper_rows
+    restricted = {
+        j: lower_rows[j] & alive_upper for j in iter_set_bits(alive_lower)
+    }
+    rows: Dict[int, int] = {}
+    if alpha <= 1:
+        # Sharing any alive neighbour qualifies: one OR sweep per vertex.
+        for j, row in restricted.items():
+            candidates = 0
+            for i in iter_set_bits(row):
+                candidates |= upper_rows[i] & alive_lower
+            rows[j] = candidates & ~(1 << j)
+        return rows
+    rows = dict.fromkeys(restricted, 0)
+    for j, row_j in restricted.items():
+        candidates = 0
+        for i in iter_set_bits(row_j):
+            candidates |= upper_rows[i] & alive_lower
+        # Lower-indexed candidates only: each unordered pair tested once.
+        for k in iter_set_bits(candidates & ((1 << j) - 1)):
+            if popcount(row_j & restricted[k]) >= alpha:
+                rows[j] |= 1 << k
+                rows[k] |= 1 << j
+    return rows
+
+
+def bi_two_hop_mask_rows(
+    bitset_graph: BitsetGraph,
+    alive_fair: int,
+    alive_other: int,
+    alpha: int,
+    fair_side: str = "lower",
+) -> Dict[int, int]:
+    """Mask-level bi-side 2-hop projection (Algorithm 8).
+
+    Two alive fair-side vertices are adjacent when, for every attribute
+    value present on the alive opposite side, they share at least
+    ``alpha`` alive common neighbours carrying that value -- one popcount
+    per (pair, value) instead of one dict op per wedge.  Matches the edge
+    set of :func:`build_bi_two_hop_graph` on the alive-induced subgraph,
+    whose per-value thresholds are judged against that subgraph's domain.
+    """
+    if fair_side not in ("lower", "upper"):
+        raise ValueError(f"fair_side must be 'lower' or 'upper', got {fair_side!r}")
+    if fair_side == "lower":
+        fair_rows = bitset_graph.lower_rows
+        other_rows = bitset_graph.upper_rows
+        other_value_masks = bitset_graph.upper_attribute_masks()
+    else:
+        fair_rows = bitset_graph.upper_rows
+        other_rows = bitset_graph.lower_rows
+        other_value_masks = bitset_graph.lower_attribute_masks()
+    value_masks = [
+        mask & alive_other for mask in other_value_masks.values() if mask & alive_other
+    ]
+    restricted = {
+        j: fair_rows[j] & alive_other for j in iter_set_bits(alive_fair)
+    }
+    rows: Dict[int, int] = dict.fromkeys(restricted, 0)
+    for j, row_j in restricted.items():
+        candidates = 0
+        for i in iter_set_bits(row_j):
+            candidates |= other_rows[i] & alive_fair
+        for k in iter_set_bits(candidates & ((1 << j) - 1)):
+            common = row_j & restricted[k]
+            if all(popcount(common & mask) >= alpha for mask in value_masks):
+                rows[j] |= 1 << k
+                rows[k] |= 1 << j
+    return rows
 
 
 def common_neighbor_counts(

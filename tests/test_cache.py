@@ -244,13 +244,21 @@ def test_disk_entries_are_plain_json_not_pickle(tmp_path):
 
     graph = sample_graph(seed=29, num_components=1)
     enumerate_ssfbc(graph, FairnessParams(2, 1, 1), cache=str(tmp_path))
-    (path,) = _disk_entry_paths(tmp_path)
-    blob = path.read_bytes()
+    # One shard entry plus the plan-stage pruning entry.
+    paths = _disk_entry_paths(tmp_path)
+    assert len(paths) == 2
     magic = b"RPRO-SHARD-CACHE\n"
-    assert blob.startswith(magic)
-    payload = blob[len(magic) + hashlib.sha256().digest_size:]
-    decoded = json.loads(payload)  # raises if anything but JSON is stored
-    assert set(decoded) == {"bicliques", "stats"}
+    decoded_keys = []
+    for path in paths:
+        blob = path.read_bytes()
+        assert blob.startswith(magic)
+        payload = blob[len(magic) + hashlib.sha256().digest_size:]
+        decoded = json.loads(payload)  # raises if anything but JSON is stored
+        decoded_keys.append(frozenset(decoded))
+    assert sorted(decoded_keys, key=sorted) == [
+        frozenset({"bicliques", "stats"}),
+        frozenset({"technique", "upper", "lower", "stages"}),
+    ]
 
 
 def test_disk_write_failure_degrades_gracefully(tmp_path):

@@ -1,0 +1,283 @@
+"""Tests of the plan-stage (pruning result) cache.
+
+Mirrors ``test_cache.py`` for the second key space the engine cache now
+serves: warm plans replay byte-identical pruning keep-sets, changing any
+fingerprint input (alpha / beta / technique / sidedness) invalidates the
+entry, and corrupt on-disk entries are deleted and recomputed.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from conftest import make_multi_component_graph
+
+import repro.core.engine.planner as planner_module
+from repro.api import enumerate_bsfbc, enumerate_ssfbc
+from repro.core.engine import ShardCache, plan, pruning_fingerprint
+from repro.core.models import FairnessParams
+
+
+def sample_graph(seed=0, num_components=2):
+    return make_multi_component_graph(
+        [(5, 5, 0.6, seed * 89 + component) for component in range(num_components)]
+    )
+
+
+def result_bytes(result):
+    return pickle.dumps(
+        (
+            [b.key for b in result.bicliques],
+            result.stats.search_nodes,
+            result.stats.upper_vertices_after_pruning,
+            result.stats.lower_vertices_after_pruning,
+        )
+    )
+
+
+def plan_keep_bytes(execution_plan):
+    pruned = execution_plan.pruning_result.graph
+    return pickle.dumps((pruned.upper_vertices(), pruned.lower_vertices()))
+
+
+# ----------------------------------------------------------------------
+# cold / warm byte-identity
+# ----------------------------------------------------------------------
+def test_warm_plan_is_byte_identical_to_cold_plan():
+    graph = sample_graph(seed=1)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = plan(graph, params, cache=cache)
+    assert cache.stats.stores >= 1
+    warm = plan(graph, params, cache=cache)
+    assert plan_keep_bytes(warm) == plan_keep_bytes(cold)
+    assert warm.pruning_result.graph == cold.pruning_result.graph
+    assert warm.pruning_result.stages.get("plan_cache") == "hit"
+    assert "plan_cache" not in cold.pruning_result.stages
+    # Stage counters replay alongside the keep-sets.
+    cold_counts = {
+        k: v
+        for k, v in cold.pruning_result.stages.items()
+        if k not in ("timings", "plan_cache")
+    }
+    warm_counts = {
+        k: v
+        for k, v in warm.pruning_result.stages.items()
+        if k not in ("timings", "plan_cache")
+    }
+    assert warm_counts == cold_counts
+    # The shard decomposition downstream of the replayed pruning agrees too.
+    assert [s.graph for s in warm.shards] == [s.graph for s in cold.shards]
+
+
+def test_warm_plan_skips_the_pruning_entirely(monkeypatch):
+    graph = sample_graph(seed=2)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    plan(graph, params, cache=cache)
+
+    def exploding_prune(*args, **kwargs):
+        raise AssertionError("warm plan must not recompute the pruning")
+
+    monkeypatch.setattr(planner_module, "prune_for_model", exploding_prune)
+    warm = plan(graph, params, cache=cache)
+    assert warm.pruning_result.stages.get("plan_cache") == "hit"
+
+
+def test_enumerate_with_cache_reuses_the_plan_stage():
+    """End-to-end through the api: warm enumerate equals cold, and both the
+    shard outcomes and the pruning keep-sets are served from the cache."""
+    graph = sample_graph(seed=3)
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = enumerate_ssfbc(graph, params, cache=cache)
+    stores = cache.stats.stores
+    warm = enumerate_ssfbc(graph, params, cache=cache)
+    assert result_bytes(warm) == result_bytes(cold)
+    # Every store (shards + pruning entry) was answered from the cache.
+    assert cache.stats.stores == stores
+    assert cache.stats.hits == stores
+
+
+def test_bi_side_models_use_their_own_entry():
+    graph = sample_graph(seed=4)
+    params = FairnessParams(1, 1, 1)
+    cache = ShardCache()
+    single = enumerate_ssfbc(graph, params, cache=cache)
+    misses_before = cache.stats.misses
+    bi = enumerate_bsfbc(graph, params, cache=cache)
+    # The bi-side request shares nothing with the single-side entries.
+    assert cache.stats.misses > misses_before
+    assert result_bytes(single) == result_bytes(enumerate_ssfbc(graph, params, cache=cache))
+    assert result_bytes(bi) == result_bytes(enumerate_bsfbc(graph, params, cache=cache))
+
+
+# ----------------------------------------------------------------------
+# invalidation
+# ----------------------------------------------------------------------
+def test_changing_thresholds_or_technique_misses():
+    graph = sample_graph(seed=5)
+    base = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    plan(graph, base, cache=cache)
+
+    variants = [
+        dict(params=FairnessParams(3, 1, 1)),
+        dict(params=FairnessParams(2, 2, 1)),
+        dict(params=base, pruning="core"),
+        dict(params=base, model="bsfbc"),
+    ]
+    for variant in variants:
+        params = variant.pop("params")
+        misses_before = cache.stats.misses
+        plan(graph, params, cache=cache, **variant)
+        assert cache.stats.misses > misses_before, variant
+
+    # delta and theta are normalised out of the pruning key: same entry.
+    hits_before = cache.stats.hits
+    plan(graph, FairnessParams(2, 1, 5, theta=0.4), cache=cache)
+    assert cache.stats.hits > hits_before
+
+
+def test_fingerprint_covers_exactly_the_pruning_inputs():
+    graph = sample_graph(seed=6)
+    key = pruning_fingerprint(graph, 2, 1, "colorful", False)
+    assert key == pruning_fingerprint(graph, 2, 1, "colorful", False)
+    assert key != pruning_fingerprint(graph, 3, 1, "colorful", False)
+    assert key != pruning_fingerprint(graph, 2, 2, "colorful", False)
+    assert key != pruning_fingerprint(graph, 2, 1, "core", False)
+    assert key != pruning_fingerprint(graph, 2, 1, "colorful", True)
+    other = sample_graph(seed=7)
+    assert key != pruning_fingerprint(other, 2, 1, "colorful", False)
+
+
+def test_pruning_none_is_never_cached():
+    graph = sample_graph(seed=8)
+    cache = ShardCache()
+    plan(graph, FairnessParams(2, 1, 1), pruning="none", cache=cache)
+    plan(graph, FairnessParams(2, 1, 1), pruning="none", cache=cache)
+    # Only shard-level traffic may have touched the cache; the pruning
+    # identity result was not stored under any key.
+    key = pruning_fingerprint(graph, 2, 1, "none", False)
+    assert cache.get_payload(key) is None
+
+
+# ----------------------------------------------------------------------
+# disk layer: persistence + corrupt-entry recovery
+# ----------------------------------------------------------------------
+def test_disk_persistence_across_cache_instances(tmp_path):
+    graph = sample_graph(seed=9)
+    params = FairnessParams(2, 1, 1)
+    cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    fresh = ShardCache(directory=tmp_path)
+    warm = plan(graph, params, cache=fresh)
+    assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+    assert plan_keep_bytes(warm) == plan_keep_bytes(cold)
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [
+        lambda blob: b"garbage",
+        lambda blob: blob[:-7],
+        lambda blob: blob.replace(b"upper", b"UPPER", 1),
+        lambda blob: b"",
+    ],
+)
+def test_corrupt_pruning_entry_is_recomputed(tmp_path, corruption):
+    graph = sample_graph(seed=10)
+    params = FairnessParams(2, 1, 1)
+    cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
+
+    cache = ShardCache(directory=tmp_path)
+    key = pruning_fingerprint(graph, params.alpha, params.beta, "colorful", False)
+    path = cache._disk_path(key)
+    assert path.exists()
+    path.write_bytes(corruption(path.read_bytes()))
+
+    recovered = plan(graph, params, cache=cache)
+    assert cache.stats.corrupt_entries == 1
+    assert "plan_cache" not in recovered.pruning_result.stages
+    assert plan_keep_bytes(recovered) == plan_keep_bytes(cold)
+    # The entry was rewritten and validates again for the next instance.
+    rewarm_cache = ShardCache(directory=tmp_path)
+    rewarm = plan(graph, params, cache=rewarm_cache)
+    assert rewarm_cache.stats.corrupt_entries == 0
+    assert rewarm.pruning_result.stages.get("plan_cache") == "hit"
+    assert plan_keep_bytes(rewarm) == plan_keep_bytes(cold)
+
+
+def _rewrite_entry_with_valid_checksum(path, payload_bytes):
+    """Re-frame arbitrary payload bytes behind a *valid* magic + checksum."""
+    import hashlib
+
+    magic = b"RPRO-SHARD-CACHE\n"
+    path.write_bytes(magic + hashlib.sha256(payload_bytes).digest() + payload_bytes)
+
+
+def test_schema_invalid_pruning_entry_is_recomputed(tmp_path):
+    """An entry that passes the checksum but not the payload schema must be
+    treated like corruption: recompute, never raise."""
+    graph = sample_graph(seed=12)
+    params = FairnessParams(2, 1, 1)
+    cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
+
+    cache = ShardCache(directory=tmp_path)
+    key = pruning_fingerprint(graph, params.alpha, params.beta, "colorful", False)
+    _rewrite_entry_with_valid_checksum(
+        cache._disk_path(key), b'{"upper": 3, "nonsense": true}'
+    )
+    recovered = plan(graph, params, cache=cache)
+    assert "plan_cache" not in recovered.pruning_result.stages
+    assert plan_keep_bytes(recovered) == plan_keep_bytes(cold)
+    # The bad entry was overwritten: the next plan replays it cleanly.
+    rewarm = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    assert rewarm.pruning_result.stages.get("plan_cache") == "hit"
+    assert plan_keep_bytes(rewarm) == plan_keep_bytes(cold)
+
+
+def test_schema_invalid_shard_entry_is_recomputed(tmp_path):
+    """Same guarantee for shard entries through ShardCache.get: a
+    checksum-valid payload that doesn't decode is a corrupt miss."""
+    graph = sample_graph(seed=13)
+    params = FairnessParams(2, 1, 1)
+    baseline = enumerate_ssfbc(graph, params, cache=ShardCache(directory=tmp_path))
+
+    cache = ShardCache(directory=tmp_path)
+    pruning_key = pruning_fingerprint(graph, params.alpha, params.beta, "colorful", False)
+    shard_paths = [
+        path
+        for path in tmp_path.glob("*/*.json")
+        if path.stem != pruning_key
+    ]
+    assert shard_paths
+    for path in shard_paths:
+        _rewrite_entry_with_valid_checksum(
+            path, b'{"bicliques": [[[0], [0]]], "stats": {"no_such_field": 1}}'
+        )
+    recovered = enumerate_ssfbc(graph, params, cache=cache)
+    assert result_bytes(recovered) == result_bytes(baseline)
+    assert cache.stats.corrupt_entries == len(shard_paths)
+    # Discarded entries were deleted and rewritten with decodable payloads.
+    fresh = ShardCache(directory=tmp_path)
+    rewarm = enumerate_ssfbc(graph, params, cache=fresh)
+    assert result_bytes(rewarm) == result_bytes(baseline)
+    assert fresh.stats.corrupt_entries == 0
+
+
+def test_payload_round_trip_preserves_stage_tuples(tmp_path):
+    """Disk JSON turns tuples into lists; the replayed stages must come
+    back as tuples so cold and warm stage dicts compare equal."""
+    graph = sample_graph(seed=11)
+    params = FairnessParams(2, 1, 1)
+    cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    warm = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    cold_stages = cold.pruning_result.stages
+    warm_stages = warm.pruning_result.stages
+    for key, value in cold_stages.items():
+        if key == "timings":
+            continue
+        assert warm_stages[key] == value
+        assert type(warm_stages[key]) is type(value)

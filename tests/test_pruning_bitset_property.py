@@ -1,0 +1,192 @@
+"""Cross-implementation property tests of the bitset pruning pipeline.
+
+Contract: for every technique (FCore / BFCore / CFCore / BCFCore), both
+sides, and any thresholds, the bitset pipeline returns *byte-identical*
+keep-sets (and identical per-stage counters) to the dict reference path --
+including the edge cases: empty graphs, a missing attribute value after
+the first peel, isolated vertices, and zero thresholds.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_graph
+
+from repro.core.pruning import bitset_impl
+from repro.core.pruning.cfcore import (
+    bi_colorful_fair_core,
+    bi_fair_core_pruning,
+    colorful_fair_core,
+    fair_core_pruning,
+    prune_for_model,
+)
+from repro.core.pruning.fcore import bi_fair_core, fair_core
+from repro.graph.generators import random_bipartite_graph
+
+ALL_PRUNERS = (
+    fair_core_pruning,
+    bi_fair_core_pruning,
+    colorful_fair_core,
+    bi_colorful_fair_core,
+)
+
+
+def assert_impls_agree(graph, alpha, beta, pruners=ALL_PRUNERS, n_jobs=1):
+    """Both implementations produce identical keep-sets and stage counters."""
+    for pruner in pruners:
+        reference = pruner(graph, alpha, beta, impl="dict")
+        bitset = pruner(graph, alpha, beta, impl="bitset", n_jobs=n_jobs)
+        assert bitset.graph.upper_vertices() == reference.graph.upper_vertices(), (
+            pruner.__name__,
+            alpha,
+            beta,
+        )
+        assert bitset.graph.lower_vertices() == reference.graph.lower_vertices(), (
+            pruner.__name__,
+            alpha,
+            beta,
+        )
+        assert bitset.graph == reference.graph
+        reference_counts = {
+            k: v for k, v in reference.stages.items() if k != "timings"
+        }
+        bitset_counts = {k: v for k, v in bitset.stages.items() if k != "timings"}
+        assert bitset_counts == reference_counts, pruner.__name__
+
+
+# ----------------------------------------------------------------------
+# randomised equivalence, all four techniques
+# ----------------------------------------------------------------------
+@st.composite
+def random_case(draw):
+    seed = draw(st.integers(0, 50_000))
+    num_upper = draw(st.integers(1, 10))
+    num_lower = draw(st.integers(1, 10))
+    probability = draw(st.sampled_from([0.15, 0.3, 0.5, 0.8]))
+    alpha = draw(st.integers(0, 3))
+    beta = draw(st.integers(0, 3))
+    graph = random_bipartite_graph(num_upper, num_lower, probability, seed=seed)
+    return graph, alpha, beta
+
+
+@given(random_case())
+@settings(max_examples=80, deadline=None)
+def test_bitset_and_dict_keep_sets_identical(case):
+    graph, alpha, beta = case
+    assert_impls_agree(graph, alpha, beta)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_identity_on_larger_graphs(seed):
+    graph = random_bipartite_graph(18, 18, 0.35, seed=seed)
+    assert_impls_agree(graph, 2, 2)
+
+
+# ----------------------------------------------------------------------
+# edge cases
+# ----------------------------------------------------------------------
+def test_empty_graph():
+    assert_impls_agree(make_graph([], {}, {}), 1, 1)
+
+
+def test_one_side_empty():
+    graph = make_graph([], upper_attrs={0: "a", 1: "b"}, lower_attrs={})
+    assert_impls_agree(graph, 1, 1)
+    graph = make_graph([], upper_attrs={}, lower_attrs={0: "a"})
+    assert_impls_agree(graph, 1, 1)
+
+
+def test_isolated_vertices_on_both_sides():
+    graph = make_graph(
+        [(0, 0), (0, 1), (1, 0), (1, 1)],
+        upper_attrs={0: "a", 1: "b", 7: "a"},
+        lower_attrs={0: "a", 1: "b", 9: "c"},
+    )
+    for alpha, beta in [(0, 0), (1, 1), (2, 1), (2, 2)]:
+        assert_impls_agree(graph, alpha, beta)
+
+
+def test_missing_attribute_value_after_first_peel():
+    """The only 'c'-valued lower vertex dies in FCore; the ego peel then
+    judges the projection against a domain with a vanished value."""
+    edges = [(u, v) for u in range(3) for v in range(4)] + [(3, 4)]
+    graph = make_graph(
+        edges,
+        upper_attrs={0: "a", 1: "b", 2: "a", 3: "b"},
+        lower_attrs={0: "a", 1: "a", 2: "b", 3: "b", 4: "c"},
+    )
+    for alpha, beta in [(2, 1), (2, 2), (3, 1)]:
+        assert_impls_agree(graph, alpha, beta)
+
+
+def test_zero_thresholds_keep_everything_connected():
+    graph = random_bipartite_graph(6, 6, 0.5, seed=11)
+    assert_impls_agree(graph, 0, 0)
+
+
+def test_single_attribute_value_per_side():
+    graph = make_graph(
+        [(0, 0), (0, 1), (1, 1), (2, 0), (2, 1)],
+        upper_attrs={0: "x", 1: "x", 2: "x"},
+        lower_attrs={0: "y", 1: "y"},
+    )
+    for alpha, beta in [(1, 1), (1, 2), (2, 2), (3, 1)]:
+        assert_impls_agree(graph, alpha, beta)
+
+
+def test_prune_for_model_dispatch_and_validation():
+    graph = random_bipartite_graph(8, 8, 0.4, seed=3)
+    for technique in ("core", "colorful"):
+        for bi_side in (False, True):
+            reference = prune_for_model(
+                graph, 2, 1, bi_side=bi_side, technique=technique, impl="dict"
+            )
+            bitset = prune_for_model(
+                graph, 2, 1, bi_side=bi_side, technique=technique, impl="bitset"
+            )
+            assert bitset.graph == reference.graph
+            assert bitset.technique == reference.technique
+    with pytest.raises(ValueError, match="unknown pruning impl"):
+        prune_for_model(graph, 2, 1, impl="numpy")
+
+
+# ----------------------------------------------------------------------
+# low-level keep-set equality (direct bitset entry points)
+# ----------------------------------------------------------------------
+@given(random_case())
+@settings(max_examples=40, deadline=None)
+def test_raw_core_functions_agree(case):
+    graph, alpha, beta = case
+    assert bitset_impl.fair_core_bitset(graph, alpha, beta) == tuple(
+        set(side) for side in fair_core(graph, alpha, beta)
+    )
+    assert bitset_impl.bi_fair_core_bitset(graph, alpha, beta) == tuple(
+        set(side) for side in bi_fair_core(graph, alpha, beta)
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel scan slicing is exact
+# ----------------------------------------------------------------------
+def test_parallel_scan_matches_serial(monkeypatch):
+    """Forcing the violation scan over a worker pool changes nothing."""
+    monkeypatch.setattr(bitset_impl, "PARALLEL_MIN_VERTICES", 0)
+    graph = random_bipartite_graph(12, 12, 0.4, seed=21)
+    assert_impls_agree(
+        graph, 2, 1, pruners=(colorful_fair_core, bi_colorful_fair_core), n_jobs=2
+    )
+
+
+def test_stage_timings_are_recorded():
+    graph = random_bipartite_graph(10, 10, 0.5, seed=5)
+    for impl in ("bitset", "dict"):
+        result = colorful_fair_core(graph, 2, 1, impl=impl)
+        timings = result.stage_timings
+        assert set(timings) >= {"fcore", "projection", "coloring", "peeling"}
+        assert all(seconds >= 0.0 for seconds in timings.values())
+        bi_result = bi_fair_core_pruning(graph, 2, 1, impl=impl)
+        assert "bfcore" in bi_result.stage_timings
