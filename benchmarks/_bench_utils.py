@@ -9,12 +9,35 @@ prints it, so the series the paper plots can be inspected directly after a
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Any, Dict, Iterable, Union
 
 from repro.analysis.experiments import ExperimentReport
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_json_result(name: str, payload: Dict[str, Any]) -> Path:
+    """Write a machine-readable benchmark result to ``BENCH_<name>.json``.
+
+    The guard benchmarks (service throughput, branch fan-out, pruning)
+    emit their measured numbers through this helper so CI can upload them
+    as artifacts and the perf trajectory stays comparable across PRs.  The
+    payload is wrapped with the benchmark name and the Python version that
+    produced it.
+    """
+    document = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        **payload,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"[json result written to {path}]")
+    return path
 
 
 def write_report(name: str, report: Union[ExperimentReport, Iterable[ExperimentReport]]) -> str:

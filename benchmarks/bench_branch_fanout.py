@@ -33,6 +33,7 @@ import sys
 import time
 from pathlib import Path
 
+from _bench_utils import write_json_result
 from repro.api import enumerate_ssfbc
 from repro.core.engine import plan
 from repro.core.models import FairnessParams
@@ -166,6 +167,26 @@ def _write_report(lines):
     print(f"\n{text}\n[written to {path}]")
 
 
+def _write_json(outcome):
+    write_json_result(
+        "branch_fanout",
+        {
+            "min_speedup": MIN_SPEEDUP,
+            "branch_threshold": BRANCH_THRESHOLD,
+            "configurations": [
+                {
+                    "label": label,
+                    "seconds": seconds,
+                    "speedup": speedup,
+                    "results": count,
+                }
+                for label, seconds, speedup, count in outcome["rows"]
+            ],
+            "speedup": outcome["rows"][-1][2],
+        },
+    )
+
+
 def _check(outcome):
     sets = outcome["result_sets"]
     assert all(s == sets[0] for s in sets[1:]), "paths disagree on the biclique set"
@@ -180,6 +201,7 @@ def test_branch_fanout_speedup(benchmark):
     graph = bridged_giant_component_graph()
     outcome = benchmark.pedantic(compare_paths, args=(graph,), rounds=1, iterations=1)
     _write_report(_report_lines(graph, outcome))
+    _write_json(outcome)
     _check(outcome)
 
 
@@ -187,6 +209,7 @@ def main():
     graph = bridged_giant_component_graph()
     outcome = compare_paths(graph)
     _write_report(_report_lines(graph, outcome))
+    _write_json(outcome)
     try:
         _check(outcome)
     except AssertionError as error:

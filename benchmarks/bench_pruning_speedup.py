@@ -26,6 +26,7 @@ import sys
 import time
 from pathlib import Path
 
+from _bench_utils import write_json_result
 from repro.core.engine import ShardCache, plan
 from repro.core.models import FairnessParams
 from repro.core.pruning.cfcore import bi_colorful_fair_core, colorful_fair_core
@@ -131,6 +132,16 @@ def _write_report(lines):
     print(f"\n{text}\n[written to {path}]")
 
 
+def _write_json(impl_outcome, plan_outcome):
+    write_json_result(
+        "pruning_speedup",
+        {
+            "impl": {**impl_outcome, "min_speedup": MIN_IMPL_SPEEDUP},
+            "plan_cache": {**plan_outcome, "min_speedup": MIN_PLAN_SPEEDUP},
+        },
+    )
+
+
 def _check(impl_outcome, plan_outcome):
     assert impl_outcome["speedup"] >= MIN_IMPL_SPEEDUP, (
         f"bitset pruning only {impl_outcome['speedup']:.2f}x faster than the "
@@ -147,6 +158,7 @@ def test_bitset_pruning_speedup():
     impl_outcome = run_impl_comparison(graph)
     plan_outcome = run_plan_cache(graph)
     _write_report(_report_lines(graph, impl_outcome, plan_outcome))
+    _write_json(impl_outcome, plan_outcome)
     _check(impl_outcome, plan_outcome)
 
 
@@ -155,6 +167,7 @@ def main():
     impl_outcome = run_impl_comparison(graph)
     plan_outcome = run_plan_cache(graph)
     _write_report(_report_lines(graph, impl_outcome, plan_outcome))
+    _write_json(impl_outcome, plan_outcome)
     try:
         _check(impl_outcome, plan_outcome)
     except AssertionError as error:

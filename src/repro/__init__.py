@@ -27,6 +27,10 @@ harness from :mod:`repro.analysis`.
 from repro.api import (
     BSFBC_ALGORITHMS,
     SSFBC_ALGORITHMS,
+    aenumerate_bsfbc,
+    aenumerate_pbsfbc,
+    aenumerate_pssfbc,
+    aenumerate_ssfbc,
     enumerate_bsfbc,
     enumerate_pbsfbc,
     enumerate_pssfbc,
@@ -53,6 +57,10 @@ __all__ = [
     "EnumerationStats",
     "FairnessParams",
     "SSFBC_ALGORITHMS",
+    "aenumerate_bsfbc",
+    "aenumerate_pbsfbc",
+    "aenumerate_pssfbc",
+    "aenumerate_ssfbc",
     "enumerate_bsfbc",
     "enumerate_pbsfbc",
     "enumerate_pssfbc",

@@ -47,6 +47,17 @@ Every ``enumerate_*`` function accepts four engine knobs:
 
 The engine returns the identical biclique set as the single-process path;
 only the result ordering (canonical) and the statistics aggregation differ.
+
+Async service facade
+--------------------
+Every ``enumerate_*`` function has an ``aenumerate_*`` twin for asyncio
+callers.  The twins route through the service layer
+(:mod:`repro.service`): pass a long-lived
+:class:`~repro.service.service.FairBicliqueService` as ``service=`` to
+amortise its persistent, pre-warmed worker pool (and shared caches) across
+requests -- identical concurrent requests coalesce into one computation --
+or pass none and an ephemeral single-request service is spun up and torn
+down around the call.  Results are byte-identical to the engine path.
 """
 
 from __future__ import annotations
@@ -279,3 +290,136 @@ def enumerate_pbsfbc(
             cache,
         )
     return bfair_bcem_pro_pp(graph, params, ordering=ordering, pruning=pruning, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# async twins (service layer)
+# ----------------------------------------------------------------------
+async def _run_service(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    model: str,
+    algorithm: Optional[str],
+    ordering: str,
+    pruning: str,
+    backend: str,
+    branch_threshold: Optional[int],
+    service,
+    n_jobs: int,
+    cache: CacheLike,
+) -> EnumerationResult:
+    # Imported lazily so `import repro` stays cheap for sync-only users.
+    from repro.core.engine.executor import resolve_n_jobs
+    from repro.service import FairBicliqueService, ServiceRequest
+
+    request = ServiceRequest(
+        graph=graph,
+        params=params,
+        model=model,
+        algorithm=algorithm,
+        ordering=ordering,
+        pruning=pruning,
+        backend=backend,
+        branch_threshold=branch_threshold,
+    )
+    if service is not None:
+        return await service.enumerate(request)
+    async with FairBicliqueService(
+        max_workers=resolve_n_jobs(n_jobs) if n_jobs != 1 else 1, cache=cache
+    ) as ephemeral:
+        return await ephemeral.enumerate(request)
+
+
+async def aenumerate_ssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    algorithm: str = "fairbcem++",
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    branch_threshold: Optional[int] = None,
+    service=None,
+    n_jobs: int = 1,
+    cache: CacheLike = None,
+) -> EnumerationResult:
+    """Async twin of :func:`enumerate_ssfbc` (see the module docstring).
+
+    ``service`` is an optional shared
+    :class:`~repro.service.service.FairBicliqueService`; without one, an
+    ephemeral service with ``n_jobs`` workers (and the given ``cache``)
+    serves just this call.  With one, ``n_jobs`` / ``cache`` are ignored --
+    the pool size and cache belong to the shared service.
+    """
+    if algorithm not in SSFBC_ALGORITHMS:
+        raise ValueError(
+            f"unknown SSFBC algorithm {algorithm!r}; expected one of {sorted(SSFBC_ALGORITHMS)}"
+        )
+    return await _run_service(
+        graph, params, "ssfbc", algorithm, ordering, pruning, backend,
+        branch_threshold, service, n_jobs, cache,
+    )
+
+
+async def aenumerate_bsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    algorithm: str = "bfairbcem++",
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    branch_threshold: Optional[int] = None,
+    service=None,
+    n_jobs: int = 1,
+    cache: CacheLike = None,
+) -> EnumerationResult:
+    """Async twin of :func:`enumerate_bsfbc` (see :func:`aenumerate_ssfbc`)."""
+    if algorithm not in BSFBC_ALGORITHMS:
+        raise ValueError(
+            f"unknown BSFBC algorithm {algorithm!r}; expected one of {sorted(BSFBC_ALGORITHMS)}"
+        )
+    return await _run_service(
+        graph, params, "bsfbc", algorithm, ordering, pruning, backend,
+        branch_threshold, service, n_jobs, cache,
+    )
+
+
+async def aenumerate_pssfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    theta: Optional[float] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    branch_threshold: Optional[int] = None,
+    service=None,
+    n_jobs: int = 1,
+    cache: CacheLike = None,
+) -> EnumerationResult:
+    """Async twin of :func:`enumerate_pssfbc` (see :func:`aenumerate_ssfbc`)."""
+    if theta is not None:
+        params = params.with_theta(theta)
+    return await _run_service(
+        graph, params, "pssfbc", None, ordering, pruning, backend,
+        branch_threshold, service, n_jobs, cache,
+    )
+
+
+async def aenumerate_pbsfbc(
+    graph: AttributedBipartiteGraph,
+    params: FairnessParams,
+    theta: Optional[float] = None,
+    ordering: str = DEGREE_ORDER,
+    pruning: str = "colorful",
+    backend: str = DEFAULT_BACKEND,
+    branch_threshold: Optional[int] = None,
+    service=None,
+    n_jobs: int = 1,
+    cache: CacheLike = None,
+) -> EnumerationResult:
+    """Async twin of :func:`enumerate_pbsfbc` (see :func:`aenumerate_ssfbc`)."""
+    if theta is not None:
+        params = params.with_theta(theta)
+    return await _run_service(
+        graph, params, "pbsfbc", None, ordering, pruning, backend,
+        branch_threshold, service, n_jobs, cache,
+    )

@@ -12,6 +12,9 @@ Sub-commands
     Run a pruning technique and report the reduction it achieves.
 ``experiment``
     Run one of the paper experiments and print its table / series.
+``serve``
+    Run the async enumeration service behind a newline-delimited-JSON TCP
+    socket (see :mod:`repro.service.server` for the protocol).
 """
 
 from __future__ import annotations
@@ -194,6 +197,29 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a paper experiment and print its table"
     )
     experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the async enumeration service over a newline-delimited "
+        "JSON TCP socket",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (0: pick a free port)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes of the persistent pool (0: one per CPU)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache shared by every request of the "
+        "service (pruning keep-sets, shard vertex-sets and shard outcomes)",
+    )
     return parser
 
 
@@ -256,6 +282,30 @@ def _run_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.engine.executor import resolve_n_jobs
+    from repro.service.server import serve
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro-fairbiclique service listening on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                max_workers=resolve_n_jobs(args.workers),
+                cache=args.cache_dir,
+                ready_message=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -272,6 +322,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = _EXPERIMENTS[args.name]()
         print(report.render())
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -34,6 +34,7 @@ from typing import Optional
 from repro.core.engine.cache import (
     CacheStats,
     ShardCache,
+    decomposition_fingerprint,
     pruning_fingerprint,
     resolve_cache,
     shard_fingerprint,
@@ -41,7 +42,13 @@ from repro.core.engine.cache import (
 from repro.core.engine.executor import (
     ShardOutcome,
     UnitOutcome,
+    cached_shard_outcomes,
+    enumerate_unit,
     execute,
+    merge_shard_units,
+    payload_shard_index,
+    payload_unit_index,
+    pending_unit_payloads,
     resolve_n_jobs,
     run_on_substrate,
     shard_cache_key,
@@ -82,8 +89,15 @@ __all__ = [
     "ShardOutcome",
     "UnitOutcome",
     "WorkUnit",
+    "cached_shard_outcomes",
+    "decomposition_fingerprint",
+    "enumerate_unit",
     "execute",
     "merge",
+    "merge_shard_units",
+    "payload_shard_index",
+    "payload_unit_index",
+    "pending_unit_payloads",
     "plan",
     "pruning_fingerprint",
     "resolve_algorithm",

@@ -174,6 +174,32 @@ def pruning_fingerprint(
     return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
 
 
+def decomposition_fingerprint(
+    pruned: AttributedBipartiteGraph, alpha: int, strategy: str
+) -> str:
+    """Content-addressed key of one decomposition (shard vertex-sets) outcome.
+
+    The shard vertex-sets of :func:`repro.graph.components.decompose` are
+    fully determined by the *pruned* graph's canonical edge set and vertex
+    sets, the ``alpha`` threshold (which parameterises the 2-hop cluster
+    fallback) and the requested strategy.  Attributes never enter the
+    decomposition, so requests whose prunings agree share the entry across
+    ``beta`` / ``delta`` / ``theta`` / algorithm / backend sweeps.  The
+    leading ``"decomposition"`` tag keeps this key space disjoint from
+    :func:`shard_fingerprint` and :func:`pruning_fingerprint`.
+    """
+    payload = (
+        "decomposition",
+        CACHE_FORMAT_VERSION,
+        strategy,
+        alpha,
+        tuple(sorted(pruned.edges())),
+        tuple(pruned.upper_vertices()),
+        tuple(pruned.lower_vertices()),
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Counters of one :class:`ShardCache` instance."""

@@ -26,7 +26,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import groupby
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.engine.cache import ShardCache, shard_fingerprint
 from repro.core.engine.planner import (
@@ -194,9 +194,25 @@ def _unit_substrate(payload: UnitPayload) -> ShardSubstrate:
     )
 
 
-def _enumerate_unit(payload: UnitPayload) -> UnitOutcome:
-    """Process-pool worker entry point: build the substrate, run the unit."""
+def enumerate_unit(payload: UnitPayload) -> UnitOutcome:
+    """Process-pool worker entry point: build the substrate, run the unit.
+
+    This is the function every parallel execution path ships to a worker --
+    the engine's per-request pool and the service layer's persistent pool
+    alike.  The payload is self-contained, so the call works under every
+    start method and over any pool that can run a module-level function.
+    """
     return _run_unit(payload, _unit_substrate(payload))
+
+
+def payload_unit_index(payload: UnitPayload) -> int:
+    """Work-unit index a payload was built from."""
+    return payload[0]
+
+
+def payload_shard_index(payload: UnitPayload) -> int:
+    """Shard index a payload belongs to."""
+    return payload[1]
 
 
 def _enumerate_units_serial(payloads: List[UnitPayload]) -> List[UnitOutcome]:
@@ -248,6 +264,20 @@ def shard_cache_key(plan: ExecutionPlan, shard: Shard) -> str:
     )
 
 
+def merge_shard_units(shard_index: int, unit_outcomes: List[UnitOutcome]) -> ShardOutcome:
+    """Merge the complete unit set of ONE shard into its :class:`ShardOutcome`.
+
+    Units are concatenated in slice order (ascending unit index), which
+    reproduces the unsliced shard search exactly; statistics are additive.
+    Used by incremental executors (the service layer) that finish shards
+    out of order as their last unit completes.
+    """
+    ordered = sorted(unit_outcomes, key=lambda outcome: outcome.unit_index)
+    bicliques = [biclique for outcome in ordered for biclique in outcome.bicliques]
+    stats = EnumerationStats.merge(outcome.stats for outcome in ordered)
+    return ShardOutcome(shard_index, bicliques, stats)
+
+
 def _merge_unit_outcomes(unit_outcomes: List[UnitOutcome]) -> List[ShardOutcome]:
     """Merge per-unit outcomes into per-shard outcomes.
 
@@ -256,13 +286,10 @@ def _merge_unit_outcomes(unit_outcomes: List[UnitOutcome]) -> List[ShardOutcome]
     their bicliques reproduces the shard's unsliced result order exactly;
     statistics are additive (:meth:`EnumerationStats.merge`).
     """
-    outcomes: List[ShardOutcome] = []
-    for shard_index, group_iter in groupby(unit_outcomes, key=lambda o: o.shard_index):
-        group = list(group_iter)
-        bicliques = [biclique for outcome in group for biclique in outcome.bicliques]
-        stats = EnumerationStats.merge(outcome.stats for outcome in group)
-        outcomes.append(ShardOutcome(shard_index, bicliques, stats))
-    return outcomes
+    return [
+        merge_shard_units(shard_index, list(group))
+        for shard_index, group in groupby(unit_outcomes, key=lambda o: o.shard_index)
+    ]
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -272,23 +299,19 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
-def execute(
-    plan: ExecutionPlan, n_jobs: int = 1, cache: Optional[ShardCache] = None
-) -> List[ShardOutcome]:
-    """Run every work unit of ``plan`` and return the per-shard outcomes.
+def cached_shard_outcomes(
+    plan: ExecutionPlan, cache: Optional[ShardCache]
+) -> Tuple[Dict[int, ShardOutcome], Dict[int, str]]:
+    """Answer every shard the cache already holds.
 
-    ``n_jobs=1`` runs in-process; ``n_jobs > 1`` fans the units out over a
-    process pool with ``min(n_jobs, num_units)`` workers.  ``0`` or a
-    negative value means "one worker per CPU".  With a ``cache``, shards
-    whose fingerprint is already stored are answered from the cache without
-    dispatching their units, and fresh shard outcomes are stored after
-    enumeration.  Outcomes are returned in shard order either way.
+    Returns ``(outcomes, cache_keys)``: the outcomes of the shards whose
+    content-addressed fingerprint is stored (keyed by shard index) and the
+    fingerprint of *every* shard of the plan (so freshly computed outcomes
+    can be stored under the same keys).  Without a cache both maps are
+    empty.
     """
-    jobs = resolve_n_jobs(n_jobs)
-    shards_by_index = {shard.index: shard for shard in plan.shards}
     outcomes: Dict[int, ShardOutcome] = {}
     cache_keys: Dict[int, str] = {}
-
     if cache is not None:
         for shard in plan.shards:
             key = shard_cache_key(plan, shard)
@@ -297,20 +320,53 @@ def execute(
             if entry is not None:
                 bicliques, stats = entry
                 outcomes[shard.index] = ShardOutcome(shard.index, bicliques, stats)
+    return outcomes, cache_keys
 
-    payloads = [
+
+def pending_unit_payloads(
+    plan: ExecutionPlan, resolved_shards: Iterable[int] = ()
+) -> List[UnitPayload]:
+    """Worker payloads of every work unit outside ``resolved_shards``.
+
+    Payloads come out in plan order (units of one shard contiguous and
+    slice-ordered), self-contained and picklable: any executor -- the
+    engine's blocking pool, the service layer's persistent pool -- can ship
+    each one to :func:`enumerate_unit` independently, one future per unit.
+    """
+    skip = frozenset(resolved_shards)
+    shards_by_index = {shard.index: shard for shard in plan.shards}
+    return [
         _unit_payload(plan, unit, shards_by_index[unit.shard_index])
         for unit in plan.work_units
-        if unit.shard_index not in outcomes
+        if unit.shard_index not in skip
     ]
+
+
+def execute(
+    plan: ExecutionPlan, n_jobs: int = 1, cache: Optional[ShardCache] = None
+) -> List[ShardOutcome]:
+    """Run every work unit of ``plan`` and return the per-shard outcomes.
+
+    ``n_jobs=1`` runs in-process; ``n_jobs > 1`` fans the units out over a
+    process pool with ``min(n_jobs, num_units)`` workers, one future per
+    unit.  ``0`` or a negative value means "one worker per CPU".  With a
+    ``cache``, shards whose fingerprint is already stored are answered from
+    the cache without dispatching their units, and fresh shard outcomes are
+    stored after enumeration.  Outcomes are returned in shard order either
+    way.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    outcomes, cache_keys = cached_shard_outcomes(plan, cache)
+    payloads = pending_unit_payloads(plan, resolved_shards=outcomes)
     if payloads:
         if jobs == 1 or len(payloads) == 1:
             unit_outcomes = _enumerate_units_serial(payloads)
         else:
             with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-                unit_outcomes = list(pool.map(_enumerate_unit, payloads))
+                futures = [pool.submit(enumerate_unit, payload) for payload in payloads]
+                unit_outcomes = [future.result() for future in futures]
         for outcome in _merge_unit_outcomes(unit_outcomes):
             outcomes[outcome.index] = outcome
-            if cache is not None:
+            if cache is not None and outcome.index in cache_keys:
                 cache.put(cache_keys[outcome.index], outcome.bicliques, outcome.stats)
     return [outcomes[index] for index in sorted(outcomes)]

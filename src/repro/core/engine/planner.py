@@ -25,7 +25,11 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.engine.cache import ShardCache, pruning_fingerprint
+from repro.core.engine.cache import (
+    ShardCache,
+    decomposition_fingerprint,
+    pruning_fingerprint,
+)
 from repro.core.enumeration._common import (
     DEFAULT_BACKEND,
     validate_alpha,
@@ -332,6 +336,69 @@ def _prune_with_cache(
     return result
 
 
+def _decomposition_payload(vertex_sets, resolved_strategy: str) -> dict:
+    """JSON payload of one decomposition outcome: shard vertex-sets."""
+    return {
+        "strategy": resolved_strategy,
+        "shards": [[sorted(uppers), sorted(lowers)] for uppers, lowers in vertex_sets],
+    }
+
+
+def _decomposition_from_payload(payload: dict):
+    """Inverse of :func:`_decomposition_payload`; raises on malformed data."""
+    if not (
+        isinstance(payload, dict)
+        and isinstance(payload.get("strategy"), str)
+        and isinstance(payload.get("shards"), list)
+        and all(
+            isinstance(sets, list)
+            and len(sets) == 2
+            and all(isinstance(side, list) for side in sets)
+            for sets in payload["shards"]
+        )
+    ):
+        raise ValueError("malformed decomposition cache payload")
+    vertex_sets = [
+        (frozenset(uppers), frozenset(lowers)) for uppers, lowers in payload["shards"]
+    ]
+    return vertex_sets, payload["strategy"]
+
+
+def _decompose_with_cache(
+    pruned: AttributedBipartiteGraph,
+    alpha: int,
+    strategy: str,
+    cache: Optional[ShardCache],
+):
+    """Run (or replay) the shard decomposition of the pruned graph.
+
+    With a ``cache``, the shard vertex-sets are stored under
+    :func:`~repro.core.engine.cache.decomposition_fingerprint` -- so warm
+    giant-component sweeps skip the 2-hop cluster fallback (the wedge
+    enumeration is by far the costliest part of planning once the pruning
+    itself is cached).  Returns ``(vertex_sets, resolved_strategy,
+    cache_marker)`` where the marker is ``"hit"`` / ``"miss"`` with a cache
+    and ``None`` without one.  A ``"none"`` strategy is the identity and is
+    never cached.
+    """
+    if cache is None or strategy == NO_SHARDING:
+        vertex_sets, resolved = decompose(pruned, alpha, strategy=strategy)
+        return vertex_sets, resolved, None
+    key = decomposition_fingerprint(pruned, alpha, strategy)
+    payload = cache.get_payload(key)
+    if payload is not None:
+        try:
+            vertex_sets, resolved = _decomposition_from_payload(payload)
+            return vertex_sets, resolved, "hit"
+        except Exception:
+            # Checksum-valid but schema-invalid (version drift, tampering):
+            # recompute and overwrite below.
+            pass
+    vertex_sets, resolved = decompose(pruned, alpha, strategy=strategy)
+    cache.put_payload(key, _decomposition_payload(vertex_sets, resolved))
+    return vertex_sets, resolved, "miss"
+
+
 @dataclass
 class ExecutionPlan:
     """Everything the execute / merge stages need, computed once."""
@@ -351,6 +418,9 @@ class ExecutionPlan:
     plan_seconds: float = 0.0
     branch_threshold: Optional[int] = None
     work_units: List[WorkUnit] = field(default_factory=list)
+    #: ``"hit"`` / ``"miss"`` when a cache answered / stored the shard
+    #: vertex-sets, ``None`` when no decomposition cache was consulted.
+    decomposition_cache: Optional[str] = None
 
     @property
     def display_name(self) -> str:
@@ -399,7 +469,10 @@ def plan(
     slices the pruning's initial violation scans over the worker pool.
     With a ``cache``, the pruning keep-sets are stored under the full-graph
     :func:`~repro.core.engine.cache.pruning_fingerprint` so a warm sweep
-    skips the plan-stage peeling entirely.
+    skips the plan-stage peeling entirely, and the shard vertex-sets are
+    stored under the pruned-graph
+    :func:`~repro.core.engine.cache.decomposition_fingerprint` so warm
+    giant-component sweeps also skip the 2-hop cluster fallback.
     """
     started = time.perf_counter()
     algorithm = resolve_algorithm(model, algorithm)
@@ -415,9 +488,10 @@ def plan(
 
     shards: List[Shard] = []
     resolved_strategy = NO_SHARDING
+    decomposition_marker: Optional[str] = None
     if pruned.num_upper > 0 and pruned.num_lower > 0:
-        vertex_sets, resolved_strategy = decompose(
-            pruned, params.alpha, strategy=strategy if shard else NO_SHARDING
+        vertex_sets, resolved_strategy, decomposition_marker = _decompose_with_cache(
+            pruned, params.alpha, strategy if shard else NO_SHARDING, cache
         )
         non_trivial = [sets for sets in vertex_sets if sets[0] and sets[1]]
         admissible = [
@@ -463,4 +537,5 @@ def plan(
         plan_seconds=time.perf_counter() - started,
         branch_threshold=branch_threshold,
         work_units=_branch_work_units(shards, branch_threshold),
+        decomposition_cache=decomposition_marker,
     )

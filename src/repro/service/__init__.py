@@ -1,0 +1,47 @@
+"""Async service layer: persistent worker pool + streamed per-shard results.
+
+The package wraps the staged execution engine (:mod:`repro.core.engine`)
+behind a long-lived asyncio facade:
+
+* :class:`~repro.service.service.FairBicliqueService` -- owns one
+  :class:`~repro.service.pool.PersistentWorkerPool` (pre-warmed workers,
+  collapse recovery) and answers enumeration requests with an async
+  ``submit()`` handle, a ``stream()`` async iterator of per-shard results,
+  in-flight coalescing of identical requests and graceful
+  shutdown/cancellation;
+* :class:`~repro.service.server.ServiceServer` -- a stdlib-only
+  newline-delimited-JSON TCP front-end (the ``repro-fairbiclique serve``
+  command);
+* the :func:`repro.api.aenumerate_ssfbc` family -- async twins of the
+  blocking ``enumerate_*`` facade, built on an (ephemeral or shared)
+  service instance.
+"""
+
+from repro.service.pool import PersistentWorkerPool
+from repro.service.server import ServiceServer, serve
+from repro.service.service import (
+    FairBicliqueService,
+    RequestCancelled,
+    RequestHandle,
+    ServiceClosed,
+    ServiceError,
+    ServiceRequest,
+    ShardResult,
+    WorkerDied,
+    request_fingerprint,
+)
+
+__all__ = [
+    "FairBicliqueService",
+    "PersistentWorkerPool",
+    "RequestCancelled",
+    "RequestHandle",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceRequest",
+    "ServiceServer",
+    "ShardResult",
+    "WorkerDied",
+    "request_fingerprint",
+    "serve",
+]

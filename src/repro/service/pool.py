@@ -1,0 +1,209 @@
+"""Persistent process pool shared by every request of a service instance.
+
+A one-shot ``enumerate_*`` call pays the full :class:`ProcessPoolExecutor`
+startup -- forking/spawning workers, importing the search modules, wiring
+the call/result queues -- on every request and tears it all down again at
+the end.  :class:`PersistentWorkerPool` owns ONE executor for the lifetime
+of the service, pre-warms its workers (each one imports the whole
+enumeration substrate at startup, so the first real unit pays nothing), and
+keeps accepting work across requests, which is exactly the shape of the
+paper's sweep workloads: many ``(theta, alpha, beta)`` queries against one
+graph, each individually small.
+
+Two failure-handling duties live here rather than in the service:
+
+* **Collapse replacement.**  When a worker process dies hard (OOM kill,
+  segfault, ``os._exit``), the executor is *broken*: every in-flight future
+  fails with :class:`BrokenProcessPool` and the executor refuses new work.
+  :meth:`PersistentWorkerPool.ensure_alive` atomically swaps in a fresh
+  executor -- idempotent under concurrent callers, so several requests that
+  observed the same collapse cannot replace a healthy pool twice.
+* **Started-unit tracing.**  A collapse fails every in-flight future, the
+  one that killed the worker and the innocents that merely sat in the call
+  queue alike.  To tell them apart, every traced submission announces its
+  token on a :class:`multiprocessing.SimpleQueue` *before* running, and
+  :meth:`drain_started` hands the parent the set of units that had actually
+  started on a worker.  The service fails the suspects' requests and
+  silently re-dispatches the rest.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional
+
+__all__ = ["PersistentWorkerPool"]
+
+#: Worker-process global set by the initializer; ``None`` in the parent.
+_START_QUEUE = None
+
+
+def _worker_init(start_queue) -> None:
+    """Worker initializer: install the trace queue and pre-import the substrate.
+
+    Importing :mod:`repro.core.engine.executor` pulls in every enumeration
+    module and the bitset substrate, so the worker's first unit starts hot.
+    """
+    global _START_QUEUE
+    _START_QUEUE = start_queue
+    import repro.core.engine.executor  # noqa: F401  (import warms the worker)
+
+
+def _warm_probe() -> bool:
+    """No-op task used to force worker processes into existence."""
+    return True
+
+
+def _traced_call(token: Any, fn: Callable, *args: Any) -> Any:
+    """Announce ``token`` as started on this worker, then run ``fn``."""
+    if _START_QUEUE is not None:
+        _START_QUEUE.put(token)
+    return fn(*args)
+
+
+class PersistentWorkerPool:
+    """A :class:`ProcessPoolExecutor` that outlives requests and collapses.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count (>= 1).
+    prewarm:
+        Submit one warm probe per worker at construction so process startup
+        and substrate imports overlap with the caller's own setup instead
+        of delaying the first request.  :meth:`prewarm` can be called again
+        to block until the probes finish.
+
+    Thread-safety: every public method may be called from any thread (the
+    asyncio event loop thread and ``run_in_executor`` threads included).
+    """
+
+    def __init__(self, max_workers: int = 1, prewarm: bool = True):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._closed = False
+        self._restarts = 0
+        self._start_queue = multiprocessing.SimpleQueue()
+        self._executor = self._new_executor()
+        if prewarm:
+            self.prewarm(wait=False)
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_worker_init,
+            initargs=(self._start_queue,),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran."""
+        return self._closed
+
+    @property
+    def restarts(self) -> int:
+        """Number of collapsed executors replaced so far."""
+        return self._restarts
+
+    def prewarm(self, wait: bool = True) -> None:
+        """Force every worker process to exist (and import the substrate).
+
+        With ``wait=False`` the probes are fired and forgotten -- workers
+        spin up in the background while the caller does other setup.
+        """
+        futures = [self.submit(_warm_probe) for _ in range(self.max_workers)]
+        if wait:
+            for future in futures:
+                future.result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the executor down.
+
+        Queued-but-unstarted futures are cancelled; with ``wait=True`` the
+        call blocks until running work finishes and every worker process
+        has been joined -- no orphans.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        executor.shutdown(wait=wait, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # work submission
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args: Any) -> Future:
+        """Submit ``fn(*args)``; transparently retries once over a collapse."""
+        try:
+            return self._current_executor().submit(fn, *args)
+        except BrokenProcessPool:
+            self.ensure_alive()
+            return self._current_executor().submit(fn, *args)
+
+    def submit_traced(self, token: Any, fn: Callable, *args: Any) -> Future:
+        """Like :meth:`submit`, but the worker announces ``token`` on start.
+
+        ``token`` must be small and picklable; it becomes visible through
+        :meth:`drain_started` once a worker has begun executing the call
+        (as opposed to the call merely waiting in the executor's queue).
+        """
+        return self.submit(_traced_call, token, fn, *args)
+
+    def _current_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # collapse handling
+    # ------------------------------------------------------------------
+    def ensure_alive(self) -> bool:
+        """Replace the executor iff it has collapsed; True when replaced.
+
+        Probing (a no-op submit) rather than peeking at private executor
+        state makes the check race-free: after one caller replaced a
+        collapsed executor, every later caller probes the healthy
+        replacement and leaves it alone.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            try:
+                self._executor.submit(_warm_probe)
+            except BrokenProcessPool:
+                old = self._executor
+                self._executor = self._new_executor()
+                self._restarts += 1
+            else:
+                return False
+        old.shutdown(wait=False)
+        return True
+
+    def drain_started(self) -> List[Any]:
+        """Tokens of every traced call that has started since the last drain.
+
+        The start queue outlives executor replacements (it is plumbed into
+        every new executor's workers), so tokens announced just before a
+        collapse are still readable just after it.
+        """
+        tokens: List[Any] = []
+        while not self._start_queue.empty():
+            tokens.append(self._start_queue.get())
+        return tokens
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> Optional[bool]:
+        self.shutdown(wait=True)
+        return None

@@ -1,0 +1,349 @@
+"""Newline-delimited-JSON socket front-end of the service (stdlib only).
+
+One :class:`ServiceServer` exposes a :class:`FairBicliqueService` over a TCP
+socket.  Each connection carries any number of concurrent requests; every
+message -- in both directions -- is one JSON object on one line.
+
+Client -> server messages (``op`` selects the operation)::
+
+    {"op": "enumerate", "id": "q1", "model": "ssfbc",
+     "alpha": 2, "beta": 1, "delta": 1, "theta": null,
+     "algorithm": null, "ordering": "degree", "pruning": "colorful",
+     "backend": "bitset", "branch_threshold": null, "stream": true,
+     "graph": {"edges": [[0, 0], [0, 1], [1, 0], [1, 1]],
+               "upper_attrs": {"0": "a", "1": "b"},
+               "lower_attrs": {"0": "a", "1": "b"}}}
+    {"op": "enumerate", "id": "q2", "dataset": "dblp-small", "seed": 0, ...}
+    {"op": "cancel", "id": "q1"}
+    {"op": "ping"}
+
+``graph`` carries an inline edge list plus per-side attribute maps (JSON
+object keys are strings; ids that look like integers are parsed back with
+:func:`repro.graph.io.int_or_str`), ``dataset`` names a synthetic dataset
+from the registry instead.  ``stream`` (default true) controls whether
+per-shard events are sent.
+
+Server -> client events (``id`` echoes the request, ``event`` the kind)::
+
+    {"id": "q1", "event": "accepted", "fingerprint": "...",
+     "num_shards": 3, "num_units": 7}
+    {"id": "q1", "event": "shard", "shard_index": 0, "cached": false,
+     "shards_done": 1, "num_shards": 3, "units_completed": 2, "num_units": 7,
+     "bicliques": [[[1, 2], [3, 4]], ...]}
+    {"id": "q1", "event": "result", "count": 5, "elapsed_seconds": 0.01,
+     "bicliques": [...], "stats": {...}}
+    {"id": "q1", "event": "cancelled"}
+    {"id": "q1", "event": "error", "error": "..."}
+    {"event": "pong"}
+
+Closing the connection cancels the connection's outstanding requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.models import FairnessParams
+from repro.datasets.registry import load_dataset
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.io import int_or_str
+from repro.service.service import (
+    FairBicliqueService,
+    RequestCancelled,
+    RequestHandle,
+    ServiceRequest,
+)
+
+__all__ = ["ServiceServer", "parse_request", "serve"]
+
+#: ``op: enumerate`` keys forwarded to :class:`ServiceRequest` verbatim.
+_REQUEST_KNOBS = (
+    "model",
+    "algorithm",
+    "ordering",
+    "pruning",
+    "backend",
+    "strategy",
+    "branch_threshold",
+)
+
+
+def _graph_from_message(message: Dict[str, Any]) -> AttributedBipartiteGraph:
+    if "dataset" in message:
+        return load_dataset(message["dataset"], seed=int(message.get("seed", 0)))
+    spec = message.get("graph")
+    if not isinstance(spec, dict):
+        raise ValueError("request needs either 'dataset' or an inline 'graph'")
+    edges = [(int_or_str(str(u)), int_or_str(str(v))) for u, v in spec["edges"]]
+    upper_attrs = {int_or_str(k): v for k, v in spec["upper_attrs"].items()}
+    lower_attrs = {int_or_str(k): v for k, v in spec["lower_attrs"].items()}
+    return AttributedBipartiteGraph.from_edges(
+        edges,
+        upper_attrs,
+        lower_attrs,
+        upper_vertices=upper_attrs.keys(),
+        lower_vertices=lower_attrs.keys(),
+    )
+
+
+def parse_request(message: Dict[str, Any]) -> ServiceRequest:
+    """Build the :class:`ServiceRequest` described by one NDJSON message."""
+    graph = _graph_from_message(message)
+    params = FairnessParams(
+        alpha=int(message.get("alpha", 1)),
+        beta=int(message.get("beta", 1)),
+        delta=int(message.get("delta", 1)),
+        theta=message.get("theta"),
+    )
+    knobs = {
+        key: message[key]
+        for key in _REQUEST_KNOBS
+        if message.get(key) is not None
+    }
+    return ServiceRequest(graph=graph, params=params, **knobs)
+
+
+def _stats_payload(stats) -> Dict[str, Any]:
+    payload = stats.as_dict()
+    payload["elapsed_seconds"] = stats.elapsed_seconds
+    return payload
+
+
+def _bicliques_payload(bicliques) -> list:
+    return [[sorted(b.upper), sorted(b.lower)] for b in bicliques]
+
+
+class ServiceServer:
+    """Serve a :class:`FairBicliqueService` over newline-delimited JSON."""
+
+    def __init__(
+        self,
+        service: FairBicliqueService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks a free port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        assert self._server is not None, "call start() before serve_forever()"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop listening (the service itself is closed by its owner)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # A handler task that ends *cancelled* (server teardown racing a
+        # closing connection) makes asyncio's stream protocol log a spurious
+        # traceback; exit normally instead -- cleanup already ran.
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: Dict[str, asyncio.Task] = {}
+        handles: Dict[str, RequestHandle] = {}
+        # Request ids cancelled before their enumerate task registered its
+        # handle (legitimate NDJSON pipelining: the cancel line can be read
+        # before the task ever runs).
+        pending_cancels: set = set()
+
+        async def send(payload: Dict[str, Any]) -> None:
+            async with write_lock:
+                writer.write(json.dumps(payload, default=str).encode("utf-8") + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("message must be a JSON object")
+                except ValueError as error:
+                    await send({"event": "error", "error": f"bad message: {error}"})
+                    continue
+                op = message.get("op", "enumerate")
+                if op == "ping":
+                    await send({"event": "pong"})
+                elif op == "cancel":
+                    request_id = str(message.get("id"))
+                    handle = handles.get(request_id)
+                    if handle is not None:
+                        await handle.cancel()
+                    elif request_id in tasks and not tasks[request_id].done():
+                        # The enumerate task exists but has not registered
+                        # its handle yet; flag it for cancellation on
+                        # registration.
+                        pending_cancels.add(request_id)
+                    else:
+                        await send(
+                            {
+                                "id": request_id,
+                                "event": "error",
+                                "error": f"unknown request id {request_id!r}",
+                            }
+                        )
+                elif op == "enumerate":
+                    request_id = str(message.get("id", len(tasks)))
+                    if request_id in tasks and not tasks[request_id].done():
+                        await send(
+                            {
+                                "id": request_id,
+                                "event": "error",
+                                "error": f"request id {request_id!r} already in flight",
+                            }
+                        )
+                        continue
+                    pending_cancels.discard(request_id)
+                    tasks[request_id] = asyncio.create_task(
+                        self._handle_enumerate(
+                            request_id, message, send, handles, pending_cancels
+                        )
+                    )
+                else:
+                    await send(
+                        {"event": "error", "error": f"unknown op {op!r}"}
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Best-effort teardown that also works inside an already
+            # cancelled task (each await then raises CancelledError, but the
+            # synchronous part of every step has run by that point).
+            for task in tasks.values():
+                task.cancel()
+            writer.close()
+            for handle in handles.values():
+                try:
+                    await handle.cancel()
+                except asyncio.CancelledError:
+                    pass
+            try:
+                if tasks:
+                    await asyncio.gather(*tasks.values(), return_exceptions=True)
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_enumerate(
+        self,
+        request_id: str,
+        message: Dict[str, Any],
+        send,
+        handles: Dict[str, RequestHandle],
+        pending_cancels: set,
+    ) -> None:
+        try:
+            request = parse_request(message)
+        except Exception as error:
+            await send({"id": request_id, "event": "error", "error": str(error)})
+            return
+        try:
+            handle = await self.service.submit(request)
+        except Exception as error:
+            await send({"id": request_id, "event": "error", "error": str(error)})
+            return
+        handles[request_id] = handle
+        if request_id in pending_cancels:
+            # A pipelined cancel arrived before the handle existed.
+            pending_cancels.discard(request_id)
+            await handle.cancel()
+        stream_shards = bool(message.get("stream", True))
+        try:
+            execution_plan = await handle.execution_plan()
+            await send(
+                {
+                    "id": request_id,
+                    "event": "accepted",
+                    "fingerprint": handle.fingerprint,
+                    "num_shards": execution_plan.num_shards,
+                    "num_units": execution_plan.num_work_units,
+                }
+            )
+            async for shard in handle.stream():
+                if stream_shards:
+                    await send(
+                        {
+                            "id": request_id,
+                            "event": "shard",
+                            "shard_index": shard.shard_index,
+                            "cached": shard.cached,
+                            "shards_done": shard.shards_done,
+                            "num_shards": shard.num_shards,
+                            "units_completed": shard.units_completed,
+                            "num_units": shard.num_units,
+                            "bicliques": _bicliques_payload(shard.bicliques),
+                        }
+                    )
+            result = await handle.result()
+            await send(
+                {
+                    "id": request_id,
+                    "event": "result",
+                    "count": len(result.bicliques),
+                    "bicliques": _bicliques_payload(result.bicliques),
+                    "stats": _stats_payload(result.stats),
+                }
+            )
+        except (RequestCancelled, asyncio.CancelledError):
+            try:
+                await send({"id": request_id, "event": "cancelled"})
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        except Exception as error:
+            await send({"id": request_id, "event": "error", "error": str(error)})
+        finally:
+            handles.pop(request_id, None)
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    max_workers: int = 1,
+    cache: Optional[str] = None,
+    ready_message=None,
+) -> None:
+    """Run a service + NDJSON server until cancelled (the CLI entry point)."""
+    async with FairBicliqueService(max_workers=max_workers, cache=cache) as service:
+        server = ServiceServer(service, host=host, port=port)
+        await server.start()
+        if ready_message is not None:
+            ready_message(server.host, server.port)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()

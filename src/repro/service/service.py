@@ -1,0 +1,702 @@
+"""Asyncio facade over ``plan`` / ``execute`` / ``merge``.
+
+:class:`FairBicliqueService` is the long-lived entry point the ROADMAP's
+north star asks for: one service instance owns one
+:class:`~repro.service.pool.PersistentWorkerPool` and answers an arbitrary
+number of enumeration requests over it, amortising process startup, module
+imports and (through the shared :class:`~repro.core.engine.cache.ShardCache`)
+pruning, decomposition and shard results across the whole workload.
+
+The request lifecycle::
+
+    service = FairBicliqueService(max_workers=4, cache="/tmp/cache")
+    handle = await service.submit(ServiceRequest(graph, params, model="ssfbc"))
+    async for shard in handle.stream():   # per-shard results as they finish
+        ...
+    result = await handle.result()        # merged; byte-identical to engine.run
+
+Key properties:
+
+* **Streaming.**  Work units are dispatched to the pool one future per
+  unit; as soon as the last unit of a shard completes, the shard's merged
+  outcome is published to every streaming subscriber -- the first shard
+  arrives while later units are still running.  The incrementally merged
+  final result is byte-identical to :func:`repro.core.engine.run` (same
+  bicliques in the same canonical order, same statistics counters).
+* **Coalescing.**  Requests are keyed by :func:`request_fingerprint`
+  (built on the engine's content-addressed ``pruning_fingerprint`` plus
+  the execution knobs).  Identical requests submitted while one is in
+  flight share a single plan + execution; every handle streams the same
+  events and awaits the same result object.
+* **Isolation of failures.**  A request whose unit kills its worker
+  process fails with :class:`WorkerDied`; the pool is replaced and other
+  in-flight requests are transparently re-dispatched (a collapse kills
+  every worker, so units running on sibling workers are suspects too --
+  see ``unit_collapse_limit`` for how blame is apportioned).
+* **Cancellation.**  Cancelling a request (its last handle) stops
+  dispatching its remaining units immediately; units already on a worker
+  are abandoned, the pool survives.
+* **Graceful shutdown.**  :meth:`FairBicliqueService.aclose` cancels
+  in-flight requests, then joins every worker process -- no orphans.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.engine.cache import (
+    PROPORTIONAL_MODELS,
+    ShardCache,
+    pruning_fingerprint,
+    resolve_cache,
+)
+from repro.core.engine.executor import (
+    ShardOutcome,
+    UnitOutcome,
+    cached_shard_outcomes,
+    enumerate_unit,
+    merge_shard_units,
+    payload_shard_index,
+    payload_unit_index,
+    pending_unit_payloads,
+)
+from repro.core.engine.merger import merge
+from repro.core.engine.planner import (
+    BI_SIDE_MODELS,
+    SSFBC_MODEL,
+    ExecutionPlan,
+    plan as build_plan,
+    resolve_algorithm,
+)
+from repro.core.enumeration._common import DEFAULT_BACKEND, Timer
+from repro.core.enumeration.ordering import DEGREE_ORDER
+from repro.core.models import Biclique, EnumerationResult, EnumerationStats, FairnessParams
+from repro.core.pruning.cfcore import DEFAULT_PRUNING_IMPL
+from repro.graph.bipartite import AttributedBipartiteGraph
+from repro.graph.components import AUTO_STRATEGY
+from repro.service.pool import PersistentWorkerPool
+
+__all__ = [
+    "FairBicliqueService",
+    "RequestCancelled",
+    "RequestHandle",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceRequest",
+    "ShardResult",
+    "WorkerDied",
+    "request_fingerprint",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of every service-layer failure."""
+
+
+class ServiceClosed(ServiceError):
+    """The service has been shut down and accepts no further requests."""
+
+
+class WorkerDied(ServiceError):
+    """A worker process died while executing a unit of this request."""
+
+
+class RequestCancelled(ServiceError, asyncio.CancelledError):
+    """The request was cancelled before its execution finished.
+
+    Subclasses :class:`asyncio.CancelledError` so ``await handle.result()``
+    behaves like any cancelled awaitable, while streaming consumers can
+    still catch the service-specific type.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One enumeration request; mirrors the :func:`repro.core.engine.run` knobs.
+
+    ``n_jobs`` is absent by design -- parallelism belongs to the service
+    (its pool size), not to individual requests.
+    """
+
+    graph: AttributedBipartiteGraph
+    params: FairnessParams
+    model: str = SSFBC_MODEL
+    algorithm: Optional[str] = None
+    ordering: str = DEGREE_ORDER
+    pruning: str = "colorful"
+    backend: str = DEFAULT_BACKEND
+    shard: bool = True
+    strategy: str = AUTO_STRATEGY
+    branch_threshold: Optional[int] = None
+    pruning_impl: str = DEFAULT_PRUNING_IMPL
+
+
+def request_fingerprint(request: ServiceRequest) -> str:
+    """Content-addressed identity of a request (the coalescing key).
+
+    Built on the engine's :func:`~repro.core.engine.cache.pruning_fingerprint`
+    (full-graph content + ``alpha`` / ``beta`` / technique / sidedness) plus
+    every knob that can change the observable outcome: model, resolved
+    algorithm, ordering, backend, ``delta``, ``theta`` (proportional models
+    only), sharding strategy and branch threshold.  ``pruning_impl`` is
+    normalised out -- both implementations produce identical keep-sets.
+    """
+    algorithm = resolve_algorithm(request.model, request.algorithm)
+    bi_side = request.model in BI_SIDE_MODELS
+    theta = request.params.theta if request.model in PROPORTIONAL_MODELS else None
+    payload = (
+        "service-request",
+        pruning_fingerprint(
+            request.graph,
+            request.params.alpha,
+            request.params.beta,
+            request.pruning,
+            bi_side,
+        ),
+        request.model,
+        algorithm,
+        request.ordering,
+        request.backend,
+        (request.params.delta, theta),
+        bool(request.shard),
+        request.strategy,
+        request.branch_threshold,
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's complete outcome, published as soon as it is known."""
+
+    shard_index: int
+    bicliques: Tuple[Biclique, ...]
+    stats: EnumerationStats
+    #: True when the shard was answered from the result cache.
+    cached: bool
+    #: Progress snapshot at publication time.
+    shards_done: int
+    num_shards: int
+    units_completed: int
+    num_units: int
+
+
+#: Queue sentinel closing every subscriber stream.
+_STREAM_END = object()
+
+
+class _Computation:
+    """Shared state of one (possibly coalesced) in-flight request."""
+
+    def __init__(self, fingerprint: str, request: ServiceRequest):
+        self.fingerprint = fingerprint
+        self.request = request
+        self.handles = 0
+        loop = asyncio.get_running_loop()
+        self.result_future: "asyncio.Future[EnumerationResult]" = loop.create_future()
+        # Streams surface failures themselves; an unobserved exception on
+        # the shared future must not warn when every consumer streamed.
+        self.result_future.add_done_callback(self._observe)
+        self.plan_ready = asyncio.Event()
+        self.cancel_event = asyncio.Event()
+        self.plan: Optional[ExecutionPlan] = None
+        self.events: List[ShardResult] = []
+        self.subscribers: List[asyncio.Queue] = []
+        self.stream_closed = False
+        self.task: Optional[asyncio.Task] = None
+        self.units_total = 0
+        self.units_dispatched = 0
+        self.units_completed = 0
+
+    @staticmethod
+    def _observe(future: asyncio.Future) -> None:
+        if not future.cancelled():
+            future.exception()
+
+    # -- event publication ------------------------------------------------
+    def publish(self, event: ShardResult) -> None:
+        self.events.append(event)
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+    def close_stream(self) -> None:
+        if self.stream_closed:
+            return
+        self.stream_closed = True
+        for queue in self.subscribers:
+            queue.put_nowait(_STREAM_END)
+
+
+class RequestHandle:
+    """One caller's view of a submitted (possibly shared) computation."""
+
+    def __init__(self, service: "FairBicliqueService", computation: _Computation):
+        self._service = service
+        self._computation = computation
+        self._released = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed request identity (the coalescing key)."""
+        return self._computation.fingerprint
+
+    @property
+    def done(self) -> bool:
+        """True once the merged result (or a failure) is available."""
+        return self._computation.result_future.done()
+
+    @property
+    def units_dispatched(self) -> int:
+        """Work units handed to the pool so far."""
+        return self._computation.units_dispatched
+
+    @property
+    def units_total(self) -> int:
+        """Total work units of the plan (0 until planning finishes)."""
+        return self._computation.units_total
+
+    async def execution_plan(self) -> ExecutionPlan:
+        """The request's :class:`ExecutionPlan` (awaits the planning stage)."""
+        await self._computation.plan_ready.wait()
+        if self._computation.plan is None:
+            # Planning failed; surface the failure.
+            await asyncio.shield(self._computation.result_future)
+            raise ServiceError("planning failed without recording an error")
+        return self._computation.plan
+
+    # -- consumption ------------------------------------------------------
+    async def result(self) -> EnumerationResult:
+        """Await the merged result (byte-identical to ``engine.run``)."""
+        return await asyncio.shield(self._computation.result_future)
+
+    async def stream(self) -> AsyncIterator[ShardResult]:
+        """Yield per-shard results as they complete (replays missed ones).
+
+        Terminates when every shard has been yielded; if the computation
+        failed or was cancelled, the failure is raised *after* the shards
+        that did complete have been yielded.
+        """
+        computation = self._computation
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in computation.events:
+            queue.put_nowait(event)
+        if computation.stream_closed:
+            queue.put_nowait(_STREAM_END)
+        else:
+            computation.subscribers.append(queue)
+        try:
+            while True:
+                item = await queue.get()
+                if item is _STREAM_END:
+                    break
+                yield item
+        finally:
+            if queue in computation.subscribers:
+                computation.subscribers.remove(queue)
+        future = computation.result_future
+        if future.cancelled():
+            raise RequestCancelled("request was cancelled")
+        if future.exception() is not None:
+            raise future.exception()
+
+    async def cancel(self) -> None:
+        """Release this handle; cancels the computation if it was the last.
+
+        Cancellation stops dispatching the request's remaining work units
+        immediately.  Other handles of a coalesced computation are
+        unaffected until the last one cancels.  Idempotent.
+        """
+        if self._released:
+            return
+        self._released = True
+        computation = self._computation
+        computation.handles -= 1
+        if computation.handles > 0 or computation.result_future.done():
+            return
+        computation.cancel_event.set()
+        if computation.task is not None:
+            await asyncio.wait({computation.task})
+
+
+class FairBicliqueService:
+    """Async enumeration service over one persistent worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes of the persistent pool.
+    cache:
+        Optional :class:`ShardCache` (or directory path): pruning keep-sets,
+        shard vertex-sets and shard outcomes are shared across every request
+        of the service.
+    prewarm:
+        Spin the worker processes up at construction (default) instead of
+        on the first request.
+    max_dispatch:
+        In-flight unit budget per request (default ``2 * max_workers``):
+        bounds how much queued work a cancellation may have to abandon
+        while still keeping every worker busy.
+    unit_collapse_limit:
+        How many pool collapses a unit may be *running* through before its
+        request fails with :class:`WorkerDied`.  Units that were merely
+        queued never count and are re-dispatched transparently.  A collapse
+        kills every worker at once, so with several workers an innocent
+        unit that happened to be running on a sibling worker is a suspect
+        too -- the default is therefore 1 for a single-worker pool (the
+        running unit *is* the killer) and 2 otherwise (an innocent suspect
+        survives one retry; a genuinely poisonous unit collapses the pool
+        again and is caught).
+    unit_runner:
+        The function shipped to workers for each unit payload (default:
+        :func:`repro.core.engine.executor.enumerate_unit`).  Must be a
+        picklable module-level callable; exists for tests and
+        instrumentation.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        cache: "ShardCache | str | None" = None,
+        prewarm: bool = True,
+        max_dispatch: Optional[int] = None,
+        unit_collapse_limit: Optional[int] = None,
+        unit_runner=None,
+    ):
+        if max_dispatch is not None and max_dispatch < 1:
+            raise ValueError(f"max_dispatch must be >= 1, got {max_dispatch}")
+        if unit_collapse_limit is None:
+            unit_collapse_limit = 1 if max_workers == 1 else 2
+        if unit_collapse_limit < 1:
+            raise ValueError(
+                f"unit_collapse_limit must be >= 1, got {unit_collapse_limit}"
+            )
+        self._pool = PersistentWorkerPool(max_workers, prewarm=prewarm)
+        self._cache = resolve_cache(cache)
+        self._unit_runner = unit_runner if unit_runner is not None else enumerate_unit
+        self.max_dispatch = max_dispatch or 2 * max_workers
+        self.unit_collapse_limit = unit_collapse_limit
+        self._inflight: Dict[str, _Computation] = {}
+        self._started_tokens: Set[Any] = set()
+        self._token_counter = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`aclose` ran."""
+        return self._closed
+
+    @property
+    def cache(self) -> Optional[ShardCache]:
+        """The shared result cache (``None`` when caching is off)."""
+        return self._cache
+
+    @property
+    def pool_restarts(self) -> int:
+        """Worker-pool collapses survived so far."""
+        return self._pool.restarts
+
+    @property
+    def num_inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "FairBicliqueService":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Cancel in-flight requests and join every worker process."""
+        if self._closed:
+            return
+        self._closed = True
+        computations = list(self._inflight.values())
+        for computation in computations:
+            computation.cancel_event.set()
+        tasks = [c.task for c in computations if c.task is not None]
+        if tasks:
+            await asyncio.wait(tasks)
+        # Joining the workers may block on a stray abandoned unit; do it off
+        # the event loop.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._pool.shutdown, True
+        )
+
+    async def prewarm(self) -> None:
+        """Block until every worker process is up and warm."""
+        await asyncio.get_running_loop().run_in_executor(None, self._pool.prewarm, True)
+
+    # ------------------------------------------------------------------
+    # request entry points
+    # ------------------------------------------------------------------
+    async def submit(self, request: ServiceRequest) -> RequestHandle:
+        """Enqueue ``request`` and return a handle to its computation.
+
+        Identical in-flight requests coalesce: their handles share one
+        plan, one execution and one result.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        # Fail fast on an unknown model/algorithm, in the caller's frame.
+        resolve_algorithm(request.model, request.algorithm)
+        loop = asyncio.get_running_loop()
+        # Fingerprinting hashes the whole graph -- keep it off the loop.
+        fingerprint = await loop.run_in_executor(None, request_fingerprint, request)
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        computation = self._inflight.get(fingerprint)
+        if (
+            computation is None
+            or computation.cancel_event.is_set()
+            or computation.result_future.done()
+        ):
+            # Never coalesce onto a computation that is finished or already
+            # being torn down by a cancellation -- a fresh submission must
+            # get a fresh result.  (Replacing the dict entry is safe: the
+            # dying task's cleanup only deletes the entry if it still maps
+            # to its own computation.)
+            computation = _Computation(fingerprint, request)
+            self._inflight[fingerprint] = computation
+            computation.task = asyncio.create_task(self._run(computation))
+        computation.handles += 1
+        return RequestHandle(self, computation)
+
+    async def enumerate(self, request: ServiceRequest) -> EnumerationResult:
+        """Submit ``request`` and await its merged result."""
+        handle = await self.submit(request)
+        return await handle.result()
+
+    async def stream(self, request: ServiceRequest) -> AsyncIterator[ShardResult]:
+        """Submit ``request`` and yield its per-shard results as they finish."""
+        handle = await self.submit(request)
+        async for event in handle.stream():
+            yield event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _run(self, computation: _Computation) -> None:
+        timer = Timer()
+        request = computation.request
+        loop = asyncio.get_running_loop()
+        try:
+            execution_plan = await loop.run_in_executor(
+                None,
+                lambda: build_plan(
+                    request.graph,
+                    request.params,
+                    model=request.model,
+                    algorithm=request.algorithm,
+                    ordering=request.ordering,
+                    pruning=request.pruning,
+                    backend=request.backend,
+                    shard=request.shard,
+                    strategy=request.strategy,
+                    branch_threshold=request.branch_threshold,
+                    pruning_impl=request.pruning_impl,
+                    cache=self._cache,
+                ),
+            )
+            computation.plan = execution_plan
+            outcomes, cache_keys = cached_shard_outcomes(execution_plan, self._cache)
+            payloads = pending_unit_payloads(execution_plan, resolved_shards=outcomes)
+            computation.units_total = len(execution_plan.work_units)
+            cached_units = computation.units_total - len(payloads)
+            computation.units_completed = cached_units
+            computation.units_dispatched = cached_units
+            computation.plan_ready.set()
+            num_shards = len(execution_plan.shards)
+            shards_done = 0
+            for index in sorted(outcomes):
+                outcome = outcomes[index]
+                shards_done += 1
+                computation.publish(
+                    ShardResult(
+                        shard_index=outcome.index,
+                        bicliques=tuple(outcome.bicliques),
+                        stats=outcome.stats,
+                        cached=True,
+                        shards_done=shards_done,
+                        num_shards=num_shards,
+                        units_completed=computation.units_completed,
+                        num_units=computation.units_total,
+                    )
+                )
+            if computation.cancel_event.is_set():
+                raise RequestCancelled("request was cancelled")
+            if payloads:
+                await self._execute_units(
+                    computation, execution_plan, payloads, outcomes, cache_keys,
+                    shards_done,
+                )
+            result = merge(
+                execution_plan,
+                [outcomes[index] for index in sorted(outcomes)],
+                elapsed_seconds=timer.elapsed(),
+            )
+            if not computation.result_future.done():
+                computation.result_future.set_result(result)
+        except RequestCancelled:
+            if not computation.result_future.done():
+                computation.result_future.cancel()
+        except asyncio.CancelledError:
+            if not computation.result_future.done():
+                computation.result_future.cancel()
+            raise
+        except Exception as error:
+            if not computation.result_future.done():
+                computation.result_future.set_exception(error)
+        finally:
+            computation.plan_ready.set()
+            computation.close_stream()
+            if self._inflight.get(computation.fingerprint) is computation:
+                del self._inflight[computation.fingerprint]
+
+    def _next_token(self, computation: _Computation, payload) -> Tuple[str, int, int]:
+        self._token_counter += 1
+        return (
+            computation.fingerprint[:16],
+            payload_unit_index(payload),
+            self._token_counter,
+        )
+
+    async def _execute_units(
+        self,
+        computation: _Computation,
+        execution_plan: ExecutionPlan,
+        payloads,
+        outcomes: Dict[int, ShardOutcome],
+        cache_keys: Dict[int, str],
+        shards_done: int,
+    ) -> None:
+        """Dispatch the pending units, windowed, publishing shards as done."""
+        num_shards = len(execution_plan.shards)
+        pending: Deque = deque(payloads)
+        remaining: Dict[int, int] = {}
+        for payload in payloads:
+            shard = payload_shard_index(payload)
+            remaining[shard] = remaining.get(shard, 0) + 1
+        unit_results: Dict[int, List[UnitOutcome]] = {}
+        collapse_counts: Dict[int, int] = {}
+        requeues: Dict[int, int] = {}
+        inflight: Dict[asyncio.Future, Tuple[Any, Any]] = {}
+        cancel_waiter: Optional[asyncio.Task] = None
+        try:
+            while pending or inflight:
+                if computation.cancel_event.is_set():
+                    raise RequestCancelled("request was cancelled")
+                while pending and len(inflight) < self.max_dispatch:
+                    payload = pending.popleft()
+                    token = self._next_token(computation, payload)
+                    raw = self._pool.submit_traced(token, self._unit_runner, payload)
+                    inflight[asyncio.wrap_future(raw)] = (payload, token)
+                    computation.units_dispatched += 1
+                if cancel_waiter is None:
+                    cancel_waiter = asyncio.create_task(
+                        computation.cancel_event.wait()
+                    )
+                done, _ = await asyncio.wait(
+                    set(inflight) | {cancel_waiter},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                # Drain the start-trace queue every round: a worker's start
+                # announcement happens-before its future resolves, so the
+                # tokens of every future in `done` are visible here -- and a
+                # continuously drained pipe can never fill up and block the
+                # workers' announcements.
+                self._drain_started_tokens()
+                for future in done:
+                    if future is cancel_waiter:
+                        continue
+                    payload, token = inflight.pop(future)
+                    unit_index = payload_unit_index(payload)
+                    try:
+                        outcome: UnitOutcome = future.result()
+                    except BrokenProcessPool as error:
+                        self._note_collapse()
+                        blamed = token in self._started_tokens
+                        self._started_tokens.discard(token)
+                        if blamed:
+                            collapse_counts[unit_index] = (
+                                collapse_counts.get(unit_index, 0) + 1
+                            )
+                            if collapse_counts[unit_index] >= self.unit_collapse_limit:
+                                raise WorkerDied(
+                                    f"worker process died while running work unit "
+                                    f"{unit_index} of request "
+                                    f"{computation.fingerprint[:16]}"
+                                ) from error
+                        requeues[unit_index] = requeues.get(unit_index, 0) + 1
+                        if requeues[unit_index] > 5:
+                            raise WorkerDied(
+                                f"work unit {unit_index} could not be re-dispatched "
+                                f"after {requeues[unit_index]} pool collapses"
+                            ) from error
+                        pending.appendleft(payload)
+                        continue
+                    self._started_tokens.discard(token)
+                    shard_index = outcome.shard_index
+                    computation.units_completed += 1
+                    unit_results.setdefault(shard_index, []).append(outcome)
+                    remaining[shard_index] -= 1
+                    if remaining[shard_index] == 0:
+                        shard_outcome = merge_shard_units(
+                            shard_index, unit_results.pop(shard_index)
+                        )
+                        outcomes[shard_index] = shard_outcome
+                        if self._cache is not None and shard_index in cache_keys:
+                            self._cache.put(
+                                cache_keys[shard_index],
+                                shard_outcome.bicliques,
+                                shard_outcome.stats,
+                            )
+                        shards_done += 1
+                        computation.publish(
+                            ShardResult(
+                                shard_index=shard_index,
+                                bicliques=tuple(shard_outcome.bicliques),
+                                stats=shard_outcome.stats,
+                                cached=False,
+                                shards_done=shards_done,
+                                num_shards=num_shards,
+                                units_completed=computation.units_completed,
+                                num_units=computation.units_total,
+                            )
+                        )
+        finally:
+            if cancel_waiter is not None:
+                cancel_waiter.cancel()
+            for future, (_payload, token) in inflight.items():
+                future.cancel()
+                self._started_tokens.discard(token)
+
+    def _drain_started_tokens(self) -> None:
+        """Pull started-unit announcements out of the pool's trace queue.
+
+        Tokens are discarded again as their futures resolve, so the set
+        normally holds only the currently running units.  Tokens of
+        abandoned (cancelled mid-run) units can linger; the hard cap below
+        bounds that leak -- losing blame history merely downgrades a future
+        collapse to the requeue-capped retry path.
+        """
+        self._started_tokens.update(self._pool.drain_started())
+        if len(self._started_tokens) > 4096:
+            self._started_tokens.clear()
+
+    def _note_collapse(self) -> None:
+        """React to an observed pool collapse: replace + attribute blame."""
+        self._pool.ensure_alive()
+        self._drain_started_tokens()

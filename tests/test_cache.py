@@ -244,9 +244,10 @@ def test_disk_entries_are_plain_json_not_pickle(tmp_path):
 
     graph = sample_graph(seed=29, num_components=1)
     enumerate_ssfbc(graph, FairnessParams(2, 1, 1), cache=str(tmp_path))
-    # One shard entry plus the plan-stage pruning entry.
+    # One shard entry, the plan-stage pruning entry and the decomposition
+    # (shard vertex-sets) entry.
     paths = _disk_entry_paths(tmp_path)
-    assert len(paths) == 2
+    assert len(paths) == 3
     magic = b"RPRO-SHARD-CACHE\n"
     decoded_keys = []
     for path in paths:
@@ -258,6 +259,7 @@ def test_disk_entries_are_plain_json_not_pickle(tmp_path):
     assert sorted(decoded_keys, key=sorted) == [
         frozenset({"bicliques", "stats"}),
         frozenset({"technique", "upper", "lower", "stages"}),
+        frozenset({"shards", "strategy"}),
     ]
 
 

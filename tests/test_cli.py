@@ -215,3 +215,64 @@ def test_enumerate_parse_int_restores_integer_attributes(tmp_path, capsys):
 
     namespace.parse_int = False
     assert _load_input_graph(namespace).upper_attribute(0) == "1"
+
+
+def test_serve_parser_arguments():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "0", "--workers", "2", "--cache-dir", "/tmp/c"]
+    )
+    assert args.command == "serve"
+    assert args.host == "127.0.0.1"
+    assert args.port == 0
+    assert args.workers == 2
+    assert args.cache_dir == "/tmp/c"
+
+
+def test_serve_command_end_to_end():
+    """`serve --port 0` answers one NDJSON request and shuts down cleanly."""
+    import json
+    import os
+    import signal
+    import socket
+    import subprocess
+    import sys
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        env=dict(os.environ, PYTHONPATH="src"),
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    try:
+        banner = process.stdout.readline()
+        assert "listening on" in banner
+        port = int(banner.strip().rsplit(":", 1)[1])
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as connection:
+            request = {
+                "op": "enumerate",
+                "id": "q",
+                "alpha": 2,
+                "beta": 1,
+                "delta": 1,
+                "graph": {
+                    "edges": [[0, 0], [0, 1], [1, 0], [1, 1]],
+                    "upper_attrs": {"0": "a", "1": "b"},
+                    "lower_attrs": {"0": "a", "1": "b"},
+                },
+            }
+            connection.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            events = []
+            with connection.makefile() as stream:
+                for line in stream:
+                    event = json.loads(line)
+                    events.append(event["event"])
+                    if event["event"] == "result":
+                        assert event["count"] == 1
+                        break
+        assert events == ["accepted", "shard", "result"]
+    finally:
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=30) == 0
+        process.stdout.close()

@@ -1,0 +1,141 @@
+"""Decomposition (shard vertex-set) caching at plan time.
+
+The third cached plan stage: shard vertex-sets are stored under
+``decomposition_fingerprint`` (pruned-graph content + alpha + requested
+strategy), so warm giant-component sweeps skip the 2-hop cluster fallback
+-- the wedge enumeration -- entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_bridged_giant_component_graph, make_multi_component_graph
+from repro.core import engine
+from repro.core.engine import ShardCache, decomposition_fingerprint, plan
+from repro.core.models import FairnessParams
+import repro.core.engine.planner as planner_module
+
+
+def giant_graph():
+    """One connected component whose alpha=2 projection splits into blocks."""
+    return make_bridged_giant_component_graph(num_blocks=3, block_side=4)
+
+
+def shard_signature(execution_plan):
+    return [
+        (shard.graph.upper_vertices(), shard.graph.lower_vertices())
+        for shard in execution_plan.shards
+    ]
+
+
+def test_warm_plan_replays_the_decomposition():
+    graph = giant_graph()
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = plan(graph, params, cache=cache)
+    warm = plan(graph, params, cache=cache)
+    assert cold.decomposition_cache == "miss"
+    assert warm.decomposition_cache == "hit"
+    assert cold.strategy == warm.strategy == "cluster"
+    assert shard_signature(warm) == shard_signature(cold)
+    assert [unit.branch_slice for unit in warm.work_units] == [
+        unit.branch_slice for unit in cold.work_units
+    ]
+
+
+def test_warm_plan_skips_the_decomposition_entirely(monkeypatch):
+    """The proof that a hit never recomputes: decompose() is replaced by a
+    bomb after the cold plan, and the warm plan still succeeds."""
+    graph = giant_graph()
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = plan(graph, params, cache=cache)
+
+    def bomb(*args, **kwargs):
+        raise AssertionError("warm plan recomputed the decomposition")
+
+    monkeypatch.setattr(planner_module, "decompose", bomb)
+    warm = plan(graph, params, cache=cache)
+    assert warm.decomposition_cache == "hit"
+    assert shard_signature(warm) == shard_signature(cold)
+    # without the cache the bomb fires, proving the monkeypatch is live
+    with pytest.raises(AssertionError):
+        plan(graph, params)
+
+
+def test_warm_engine_run_results_are_identical():
+    graph = giant_graph()
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = engine.run(graph, params, cache=cache)
+    warm = engine.run(graph, params, cache=cache)
+    assert warm.bicliques == cold.bicliques
+
+
+def test_beta_sweep_shares_the_decomposition_entry():
+    """beta does not enter the decomposition: a sweep over beta hits the
+    same entry as long as the pruning keeps the same graph."""
+    graph = giant_graph()
+    cache = ShardCache()
+    cold = plan(graph, FairnessParams(2, 1, 1), pruning="none", cache=cache)
+    warm = plan(graph, FairnessParams(2, 1, 1, 0.5), pruning="none", cache=cache)
+    assert cold.decomposition_cache == "miss"
+    assert warm.decomposition_cache == "hit"
+
+
+def test_alpha_and_strategy_invalidate_the_entry():
+    graph = giant_graph()
+    cache = ShardCache()
+    base = plan(graph, FairnessParams(2, 1, 1), pruning="none", cache=cache)
+    other_alpha = plan(graph, FairnessParams(3, 1, 1), pruning="none", cache=cache)
+    other_strategy = plan(
+        graph, FairnessParams(2, 1, 1), pruning="none", strategy="components", cache=cache
+    )
+    assert base.decomposition_cache == "miss"
+    assert other_alpha.decomposition_cache == "miss"
+    assert other_strategy.decomposition_cache == "miss"
+    # and a fingerprint-level check of the same facts
+    pruned = base.pruning_result.graph
+    assert decomposition_fingerprint(pruned, 2, "auto") != decomposition_fingerprint(
+        pruned, 3, "auto"
+    )
+    assert decomposition_fingerprint(pruned, 2, "auto") != decomposition_fingerprint(
+        pruned, 2, "components"
+    )
+
+
+def test_no_cache_and_no_sharding_have_no_marker():
+    graph = make_multi_component_graph([(4, 4, 0.6, 0), (4, 4, 0.6, 1)])
+    params = FairnessParams(2, 1, 1)
+    assert plan(graph, params).decomposition_cache is None
+    cache = ShardCache()
+    unsharded = plan(graph, params, shard=False, cache=cache)
+    assert unsharded.decomposition_cache is None
+    # the trivial single-shard decomposition is never cached
+    assert cache.stats.stores == 1  # just the pruning entry
+
+
+def test_corrupt_decomposition_payload_is_recomputed():
+    graph = giant_graph()
+    params = FairnessParams(2, 1, 1)
+    cache = ShardCache()
+    cold = plan(graph, params, cache=cache)
+    key = decomposition_fingerprint(cold.pruning_result.graph, params.alpha, "auto")
+    assert cache.get_payload(key) is not None
+    cache.put_payload(key, {"strategy": "cluster", "shards": "nonsense"})
+    recovered = plan(graph, params, cache=cache)
+    assert recovered.decomposition_cache == "miss"
+    assert shard_signature(recovered) == shard_signature(cold)
+    # the bad entry was overwritten: the next plan hits again
+    assert plan(graph, params, cache=cache).decomposition_cache == "hit"
+
+
+def test_disk_persistence_across_cache_instances(tmp_path):
+    graph = giant_graph()
+    params = FairnessParams(2, 1, 1)
+    cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    warm = plan(graph, params, cache=ShardCache(directory=tmp_path))
+    assert cold.decomposition_cache == "miss"
+    assert warm.decomposition_cache == "hit"
+    assert shard_signature(warm) == shard_signature(cold)

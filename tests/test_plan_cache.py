@@ -16,7 +16,12 @@ from conftest import make_multi_component_graph
 
 import repro.core.engine.planner as planner_module
 from repro.api import enumerate_bsfbc, enumerate_ssfbc
-from repro.core.engine import ShardCache, plan, pruning_fingerprint
+from repro.core.engine import (
+    ShardCache,
+    decomposition_fingerprint,
+    plan,
+    pruning_fingerprint,
+)
 from repro.core.models import FairnessParams
 
 
@@ -173,7 +178,8 @@ def test_disk_persistence_across_cache_instances(tmp_path):
     cold = plan(graph, params, cache=ShardCache(directory=tmp_path))
     fresh = ShardCache(directory=tmp_path)
     warm = plan(graph, params, cache=fresh)
-    assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+    # One pruning hit plus one decomposition (shard vertex-sets) hit.
+    assert fresh.stats.hits == 2 and fresh.stats.misses == 0
     assert plan_keep_bytes(warm) == plan_keep_bytes(cold)
 
 
@@ -247,10 +253,13 @@ def test_schema_invalid_shard_entry_is_recomputed(tmp_path):
 
     cache = ShardCache(directory=tmp_path)
     pruning_key = pruning_fingerprint(graph, params.alpha, params.beta, "colorful", False)
+    decomposition_key = decomposition_fingerprint(
+        plan(graph, params).pruning_result.graph, params.alpha, "auto"
+    )
     shard_paths = [
         path
         for path in tmp_path.glob("*/*.json")
-        if path.stem != pruning_key
+        if path.stem not in (pruning_key, decomposition_key)
     ]
     assert shard_paths
     for path in shard_paths:

@@ -1,0 +1,578 @@
+"""Tests of the async service layer (:mod:`repro.service`).
+
+Covers the tentpole guarantees of the service:
+
+* the fully merged streamed result is byte-identical to ``engine.run``,
+  property-tested across every (model, algorithm) pair and both adjacency
+  backends;
+* ``stream()`` yields the first shard result before the last work unit
+  finishes;
+* identical concurrent requests coalesce into one computation;
+* a worker death mid-shard fails exactly that request while the pool and
+  other in-flight requests survive;
+* cancelling a streaming request stops dispatching its remaining units;
+* graceful shutdown never orphans workers and closes the service for new
+  requests.
+
+The tests drive asyncio through ``asyncio.run`` directly -- the suite has
+no async test plugin, and one event loop per test keeps them independent.
+Worker functions injected into the pool are module-level so they pickle
+under every start method.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import time
+
+import pytest
+
+from conftest import (
+    make_bridged_giant_component_graph,
+    make_graph,
+    make_multi_component_graph,
+)
+from repro.core import engine
+from repro.core.engine.executor import enumerate_unit
+from repro.core.models import FairnessParams
+from repro.service import (
+    FairBicliqueService,
+    RequestCancelled,
+    ServiceClosed,
+    ServiceRequest,
+    WorkerDied,
+    request_fingerprint,
+)
+
+#: Upper vertex id marking the shard whose unit kills its worker process.
+POISON_VERTEX = 777001
+
+
+def poison_runner(payload):
+    """Unit runner that hard-kills the worker on the poisoned shard."""
+    shard_graph = payload[3]
+    if shard_graph.has_upper(POISON_VERTEX):
+        os._exit(13)
+    return enumerate_unit(payload)
+
+
+def slow_runner(payload):
+    """Unit runner that makes every unit take a visible amount of time."""
+    time.sleep(0.2)
+    return enumerate_unit(payload)
+
+
+def multi_shard_graph(num_components=4, seed=0):
+    return make_multi_component_graph(
+        [(7, 7, 0.5, seed * 31 + i) for i in range(num_components)]
+    )
+
+
+def poison_graph():
+    """A tiny graph whose only shard contains :data:`POISON_VERTEX`."""
+    return make_graph(
+        [(POISON_VERTEX, 1), (POISON_VERTEX, 2), (777002, 1), (777002, 2)],
+        upper_attrs={POISON_VERTEX: "a", 777002: "b"},
+        lower_attrs={1: "a", 2: "b"},
+    )
+
+
+def stats_signature(stats):
+    """Statistics as a dict minus the wall-clock fields (never reproducible)."""
+    signature = dataclasses.asdict(stats)
+    signature.pop("elapsed_seconds")
+    signature.pop("pruning_seconds")
+    return signature
+
+
+def result_signature(result):
+    """Byte-identity signature: exact biclique list plus stats counters."""
+    return (result.bicliques, stats_signature(result.stats))
+
+
+# ----------------------------------------------------------------------
+# byte-identity + streaming across algorithms x backends
+# ----------------------------------------------------------------------
+ALL_CONFIGS = [
+    (model, algorithm, backend)
+    for (model, algorithm) in sorted(engine.DISPLAY_NAMES)
+    for backend in ("bitset", "frozenset")
+]
+
+
+def test_streamed_result_identical_to_engine_run_all_algorithms_backends():
+    """Property: for every algorithm and backend, the merged streamed result
+    is byte-identical to ``engine.run`` and the first shard is yielded
+    before the last work unit finishes."""
+    graph = multi_shard_graph(num_components=3)
+    params = FairnessParams(2, 1, 1, 0.3)
+
+    async def scenario():
+        failures = []
+        async with FairBicliqueService(max_workers=1) as service:
+            for model, algorithm, backend in ALL_CONFIGS:
+                request = ServiceRequest(
+                    graph=graph,
+                    params=params,
+                    model=model,
+                    algorithm=algorithm,
+                    backend=backend,
+                )
+                handle = await service.submit(request)
+                events = [event async for event in handle.stream()]
+                result = await handle.result()
+                baseline = engine.run(
+                    graph, params, model=model, algorithm=algorithm, backend=backend
+                )
+                label = f"{model}/{algorithm}/{backend}"
+                if result_signature(result) != result_signature(baseline):
+                    failures.append(f"{label}: result differs from engine.run")
+                if len(events) != len((await handle.execution_plan()).shards):
+                    failures.append(f"{label}: expected one event per shard")
+                if events and events[0].units_completed >= events[0].num_units:
+                    failures.append(
+                        f"{label}: first shard was published only after every "
+                        f"unit finished"
+                    )
+        return failures
+
+    failures = asyncio.run(scenario())
+    assert not failures, "\n".join(failures)
+
+
+def test_streaming_is_incremental_in_wall_clock():
+    """With a slow unit runner and one worker, the first shard arrives
+    while the computation is demonstrably unfinished."""
+    graph = multi_shard_graph(num_components=3)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, max_dispatch=1, unit_runner=slow_runner
+        ) as service:
+            handle = await service.submit(ServiceRequest(graph=graph, params=params))
+            first = None
+            async for event in handle.stream():
+                if first is None:
+                    first = event
+                    assert not handle.done, (
+                        "first shard event arrived only after the whole "
+                        "request completed"
+                    )
+            result = await handle.result()
+            assert first is not None
+            assert first.units_completed < first.num_units
+            return result
+
+    result = asyncio.run(scenario())
+    assert result.as_set() == engine.run(graph, FairnessParams(2, 1, 1)).as_set()
+
+
+def test_branch_units_stream_and_merge_identically():
+    """Branch-level work units (giant-component fallback) through the
+    service equal the engine run, and shards publish once all their units
+    are in."""
+    graph = make_bridged_giant_component_graph(num_blocks=3, block_side=4)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            request = ServiceRequest(
+                graph=graph, params=params, model="ssfbc", branch_threshold=2
+            )
+            handle = await service.submit(request)
+            events = [event async for event in handle.stream()]
+            plan = await handle.execution_plan()
+            result = await handle.result()
+            assert plan.num_work_units > plan.num_shards
+            assert len(events) == plan.num_shards
+            return result
+
+    result = asyncio.run(scenario())
+    baseline = engine.run(graph, params, model="ssfbc", branch_threshold=2)
+    assert result_signature(result) == result_signature(baseline)
+
+
+def test_empty_after_pruning_request():
+    """A graph pruned to nothing streams zero shards and merges empty."""
+    graph = make_graph(
+        [(0, 0)], upper_attrs={0: "a"}, lower_attrs={0: "a"}
+    )
+    params = FairnessParams(3, 3, 1)
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            handle = await service.submit(ServiceRequest(graph=graph, params=params))
+            events = [event async for event in handle.stream()]
+            return events, await handle.result()
+
+    events, result = asyncio.run(scenario())
+    assert events == []
+    assert result.bicliques == []
+
+
+# ----------------------------------------------------------------------
+# caching through the service
+# ----------------------------------------------------------------------
+def test_warm_requests_are_served_from_the_shared_cache():
+    graph = multi_shard_graph(num_components=3, seed=5)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        from repro.core.engine.cache import ShardCache
+
+        cache = ShardCache()
+        async with FairBicliqueService(max_workers=1, cache=cache) as service:
+            request = ServiceRequest(graph=graph, params=params)
+            cold = await service.enumerate(request)
+            handle = await service.submit(request)
+            warm_events = [event async for event in handle.stream()]
+            warm = await handle.result()
+            return cold, warm, warm_events
+
+    cold, warm, warm_events = asyncio.run(scenario())
+    assert warm.bicliques == cold.bicliques
+    assert warm_events and all(event.cached for event in warm_events)
+
+
+# ----------------------------------------------------------------------
+# coalescing
+# ----------------------------------------------------------------------
+def test_identical_concurrent_requests_coalesce():
+    graph = multi_shard_graph(num_components=3, seed=2)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, unit_runner=slow_runner
+        ) as service:
+            request = ServiceRequest(graph=graph, params=params)
+            other = ServiceRequest(graph=graph, params=FairnessParams(2, 2, 1))
+            h1, h2, h3 = await asyncio.gather(
+                service.submit(request),
+                service.submit(request),
+                service.submit(other),
+            )
+            shared = h1._computation is h2._computation
+            distinct = h1._computation is not h3._computation
+            inflight = service.num_inflight
+            r1, r2, r3 = await asyncio.gather(
+                h1.result(), h2.result(), h3.result()
+            )
+            return shared, distinct, inflight, r1, r2, r3
+
+    shared, distinct, inflight, r1, r2, r3 = asyncio.run(scenario())
+    assert shared, "identical concurrent requests must share one computation"
+    assert distinct, "different parameters must not coalesce"
+    assert inflight == 2
+    assert r1 is r2
+    assert r1.as_set() == engine.run(graph, params).as_set()
+    assert r3.as_set() == engine.run(graph, FairnessParams(2, 2, 1)).as_set()
+
+
+def test_sequential_identical_requests_do_not_coalesce():
+    """Coalescing is for in-flight requests only: a finished computation is
+    not reused (that is the cache's job)."""
+    graph = multi_shard_graph(num_components=2, seed=3)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            h1 = await service.submit(ServiceRequest(graph=graph, params=params))
+            r1 = await h1.result()
+            h2 = await service.submit(ServiceRequest(graph=graph, params=params))
+            r2 = await h2.result()
+            return h1._computation is h2._computation, r1, r2
+
+    same, r1, r2 = asyncio.run(scenario())
+    assert not same
+    assert r1.bicliques == r2.bicliques
+
+
+def test_request_fingerprint_normalisations():
+    graph = multi_shard_graph(num_components=2, seed=4)
+    base = ServiceRequest(graph=graph, params=FairnessParams(2, 1, 1, 0.5))
+    same_theta = ServiceRequest(graph=graph, params=FairnessParams(2, 1, 1, 0.9))
+    # theta only matters for the proportional models
+    assert request_fingerprint(base) == request_fingerprint(same_theta)
+    proportional = dataclasses.replace(base, model="pssfbc")
+    proportional_other = dataclasses.replace(same_theta, model="pssfbc")
+    assert request_fingerprint(proportional) != request_fingerprint(proportional_other)
+    # pruning_impl is normalised out (identical keep-sets)
+    assert request_fingerprint(base) == request_fingerprint(
+        dataclasses.replace(base, pruning_impl="dict")
+    )
+    # the default algorithm resolves to its explicit name
+    assert request_fingerprint(base) == request_fingerprint(
+        dataclasses.replace(base, algorithm="fairbcem++")
+    )
+    assert request_fingerprint(base) != request_fingerprint(
+        dataclasses.replace(base, algorithm="fairbcem")
+    )
+
+
+# ----------------------------------------------------------------------
+# failure paths
+# ----------------------------------------------------------------------
+def test_worker_death_fails_that_request_and_pool_survives():
+    """A unit that kills its worker process fails its own request with
+    :class:`WorkerDied`; a concurrent request and later requests complete,
+    served by a transparently replaced pool."""
+    good_graph = multi_shard_graph(num_components=3, seed=6)
+    params = FairnessParams(1, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, unit_runner=poison_runner
+        ) as service:
+            bad = await service.submit(
+                ServiceRequest(graph=poison_graph(), params=params)
+            )
+            good = await service.submit(
+                ServiceRequest(graph=good_graph, params=params)
+            )
+            with pytest.raises(WorkerDied):
+                await bad.result()
+            good_result = await good.result()
+            restarts = service.pool_restarts
+            # the service keeps serving after the collapse
+            again = await service.enumerate(
+                ServiceRequest(graph=good_graph, params=FairnessParams(2, 1, 1))
+            )
+            return good_result, restarts, again
+
+    good_result, restarts, again = asyncio.run(scenario())
+    assert good_result.as_set() == engine.run(good_graph, params).as_set()
+    assert restarts >= 1
+    assert again.as_set() == engine.run(good_graph, FairnessParams(2, 1, 1)).as_set()
+
+
+def test_worker_death_surfaces_through_stream():
+    params = FairnessParams(1, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, unit_runner=poison_runner
+        ) as service:
+            handle = await service.submit(
+                ServiceRequest(graph=poison_graph(), params=params)
+            )
+            with pytest.raises(WorkerDied):
+                async for _event in handle.stream():
+                    pass
+
+    asyncio.run(scenario())
+
+
+def test_planning_errors_propagate():
+    graph = multi_shard_graph(num_components=1)
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            with pytest.raises(ValueError):
+                await service.submit(
+                    ServiceRequest(
+                        graph=graph,
+                        params=FairnessParams(1, 1, 1),
+                        model="ssfbc",
+                        algorithm="no-such-algorithm",
+                    )
+                )
+            # errors detected during planning fail the handle, not the service
+            handle = await service.submit(
+                ServiceRequest(
+                    graph=graph,
+                    params=FairnessParams(1, 1, 1),
+                    backend="no-such-backend",
+                )
+            )
+            with pytest.raises(ValueError):
+                await handle.result()
+            ok = await service.enumerate(
+                ServiceRequest(graph=graph, params=FairnessParams(1, 1, 1))
+            )
+            return ok
+
+    ok = asyncio.run(scenario())
+    assert ok.as_set() == engine.run(graph, FairnessParams(1, 1, 1)).as_set()
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancellation_stops_dispatching_remaining_units():
+    graph = multi_shard_graph(num_components=6, seed=7)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, max_dispatch=1, unit_runner=slow_runner
+        ) as service:
+            handle = await service.submit(ServiceRequest(graph=graph, params=params))
+            events = []
+            with pytest.raises(RequestCancelled):
+                async for event in handle.stream():
+                    events.append(event)
+                    await handle.cancel()
+            assert handle.units_total > 2
+            assert handle.units_dispatched < handle.units_total, (
+                "cancellation must stop dispatching the remaining units"
+            )
+            # the pool survives: a follow-up request completes
+            result = await service.enumerate(
+                ServiceRequest(graph=graph, params=FairnessParams(2, 2, 1))
+            )
+            return events, result
+
+    events, result = asyncio.run(scenario())
+    assert len(events) >= 1
+    assert result.as_set() == engine.run(graph, FairnessParams(2, 2, 1)).as_set()
+
+
+def test_resubmit_after_cancel_gets_a_fresh_computation():
+    """A new submission must never coalesce onto a computation that is
+    already being torn down by a cancellation."""
+    graph = multi_shard_graph(num_components=4, seed=13)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, max_dispatch=1, unit_runner=slow_runner
+        ) as service:
+            request = ServiceRequest(graph=graph, params=params)
+            first = await service.submit(request)
+            await first.cancel()  # cancellation may still be unwinding...
+            second = await service.submit(request)  # ...when this arrives
+            assert first._computation is not second._computation
+            return await second.result()
+
+    result = asyncio.run(scenario())
+    assert result.as_set() == engine.run(graph, params).as_set()
+
+
+def test_started_token_bookkeeping_stays_bounded():
+    """The start-trace queue is drained while the pool is healthy (a full
+    pipe would block the workers) and resolved units drop their tokens."""
+    graph = multi_shard_graph(num_components=4, seed=14)
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            for beta in (1, 2):
+                await service.enumerate(
+                    ServiceRequest(graph=graph, params=FairnessParams(2, beta, 1))
+                )
+            leftover_tokens = set(service._started_tokens)
+            undrained = service._pool.drain_started()
+            return leftover_tokens, undrained
+
+    leftover_tokens, undrained = asyncio.run(scenario())
+    assert leftover_tokens == set()
+    assert undrained == []
+
+
+def test_cancel_is_per_handle_on_coalesced_requests():
+    """Cancelling one handle of a coalesced computation leaves the other
+    handle's computation running to completion."""
+    graph = multi_shard_graph(num_components=3, seed=8)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        async with FairBicliqueService(
+            max_workers=1, unit_runner=slow_runner
+        ) as service:
+            request = ServiceRequest(graph=graph, params=params)
+            h1 = await service.submit(request)
+            h2 = await service.submit(request)
+            await h1.cancel()
+            result = await h2.result()
+            return result
+
+    result = asyncio.run(scenario())
+    assert result.as_set() == engine.run(graph, params).as_set()
+
+
+# ----------------------------------------------------------------------
+# api twins
+# ----------------------------------------------------------------------
+def test_aenumerate_twins_match_their_sync_functions():
+    from repro import api
+
+    graph = multi_shard_graph(num_components=3, seed=11)
+    params = FairnessParams(2, 1, 1)
+    theta = 0.4
+
+    async def scenario():
+        async with FairBicliqueService(max_workers=1) as service:
+            return (
+                await api.aenumerate_ssfbc(graph, params, service=service),
+                await api.aenumerate_bsfbc(graph, params, service=service),
+                await api.aenumerate_pssfbc(graph, params, theta=theta, service=service),
+                await api.aenumerate_pbsfbc(graph, params, theta=theta, service=service),
+                # ephemeral-service path (no shared service)
+                await api.aenumerate_ssfbc(graph, params, algorithm="fairbcem"),
+            )
+
+    ssfbc, bsfbc, pssfbc, pbsfbc, ephemeral = asyncio.run(scenario())
+    assert ssfbc.as_set() == api.enumerate_ssfbc(graph, params).as_set()
+    assert bsfbc.as_set() == api.enumerate_bsfbc(graph, params).as_set()
+    assert pssfbc.as_set() == api.enumerate_pssfbc(graph, params, theta=theta).as_set()
+    assert pbsfbc.as_set() == api.enumerate_pbsfbc(graph, params, theta=theta).as_set()
+    assert ephemeral.as_set() == ssfbc.as_set()
+
+
+def test_aenumerate_rejects_unknown_algorithm_eagerly():
+    from repro import api
+
+    graph = multi_shard_graph(num_components=1, seed=12)
+
+    async def scenario():
+        with pytest.raises(ValueError, match="unknown SSFBC algorithm"):
+            await api.aenumerate_ssfbc(graph, FairnessParams(1, 1, 1), algorithm="nope")
+        with pytest.raises(ValueError, match="unknown BSFBC algorithm"):
+            await api.aenumerate_bsfbc(graph, FairnessParams(1, 1, 1), algorithm="nope")
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# shutdown
+# ----------------------------------------------------------------------
+def test_graceful_shutdown_closes_service_and_joins_workers():
+    graph = multi_shard_graph(num_components=2, seed=9)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        service = FairBicliqueService(max_workers=1)
+        result = await service.enumerate(ServiceRequest(graph=graph, params=params))
+        processes = dict(service._pool._executor._processes)
+        await service.aclose()
+        await service.aclose()  # idempotent
+        with pytest.raises(ServiceClosed):
+            await service.submit(ServiceRequest(graph=graph, params=params))
+        return result, processes
+
+    result, processes = asyncio.run(scenario())
+    assert result.as_set() == engine.run(graph, params).as_set()
+    for process in processes.values():
+        assert not process.is_alive(), "shutdown left an orphaned worker process"
+
+
+def test_shutdown_cancels_inflight_requests():
+    graph = multi_shard_graph(num_components=6, seed=10)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario():
+        service = FairBicliqueService(
+            max_workers=1, max_dispatch=1, unit_runner=slow_runner
+        )
+        handle = await service.submit(ServiceRequest(graph=graph, params=params))
+        await asyncio.sleep(0.05)
+        await service.aclose()
+        with pytest.raises(asyncio.CancelledError):
+            await handle.result()
+        return handle
+
+    handle = asyncio.run(scenario())
+    assert handle.done

@@ -1,0 +1,350 @@
+"""Tests of the NDJSON socket front-end (:mod:`repro.service.server`).
+
+Every test runs a real server on an ephemeral port inside one event loop
+and speaks the newline-delimited JSON protocol over a real TCP connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.api import enumerate_bsfbc, enumerate_ssfbc
+from repro.core.models import FairnessParams
+from repro.datasets.registry import load_dataset
+from repro.service import FairBicliqueService, ServiceServer
+from test_service import multi_shard_graph, slow_runner
+
+
+def graph_payload(graph):
+    """Inline-graph form of the protocol for an attributed graph."""
+    return {
+        "edges": [[u, v] for u, v in sorted(graph.edges())],
+        "upper_attrs": {str(u): graph.upper_attribute(u) for u in graph.upper_vertices()},
+        "lower_attrs": {str(v): graph.lower_attribute(v) for v in graph.lower_vertices()},
+    }
+
+
+def result_set(event):
+    """Biclique set encoded in a ``result`` event."""
+    return {
+        (frozenset(upper), frozenset(lower)) for upper, lower in event["bicliques"]
+    }
+
+
+def api_result_set(result):
+    return {(frozenset(b.upper), frozenset(b.lower)) for b in result.bicliques}
+
+
+class Client:
+    """Minimal NDJSON test client."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, server):
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        return cls(reader, writer)
+
+    async def send(self, message):
+        self.writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        await self.writer.drain()
+
+    async def send_raw(self, blob: bytes):
+        self.writer.write(blob)
+        await self.writer.drain()
+
+    async def recv(self):
+        line = await asyncio.wait_for(self.reader.readline(), timeout=30)
+        assert line, "server closed the connection unexpectedly"
+        return json.loads(line)
+
+    async def recv_until(self, *, id=None, events=("result", "error", "cancelled")):
+        """Collect events (for ``id`` when given) until a terminal one."""
+        collected = []
+        while True:
+            event = await self.recv()
+            if id is not None and event.get("id") != id:
+                continue
+            collected.append(event)
+            if event.get("event") in events:
+                return collected
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def run_with_server(scenario, **service_kwargs):
+    """Run ``scenario(server, client)`` against a live server + connection."""
+
+    async def main():
+        service_kwargs.setdefault("max_workers", 1)
+        async with FairBicliqueService(**service_kwargs) as service:
+            server = ServiceServer(service, port=0)
+            await server.start()
+            client = await Client.connect(server)
+            try:
+                return await scenario(server, client)
+            finally:
+                await client.close()
+                await server.aclose()
+
+    return asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# happy paths
+# ----------------------------------------------------------------------
+def test_enumerate_inline_graph_streams_and_matches_api():
+    graph = multi_shard_graph(num_components=3)
+    params = FairnessParams(2, 1, 1)
+
+    async def scenario(server, client):
+        await client.send(
+            {
+                "op": "enumerate",
+                "id": "q1",
+                "model": "ssfbc",
+                "alpha": 2,
+                "beta": 1,
+                "delta": 1,
+                "graph": graph_payload(graph),
+            }
+        )
+        return await client.recv_until(id="q1")
+
+    events = run_with_server(scenario)
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "accepted" and kinds[-1] == "result"
+    accepted, result = events[0], events[-1]
+    shard_events = [event for event in events if event["event"] == "shard"]
+    assert len(shard_events) == accepted["num_shards"] > 1
+    assert result["count"] == len(result["bicliques"])
+    assert result_set(result) == api_result_set(enumerate_ssfbc(graph, params))
+    # per-shard results concatenate to the final set
+    streamed = set()
+    for event in shard_events:
+        streamed |= result_set(event)
+    assert streamed == result_set(result)
+
+
+def test_enumerate_without_streaming_sends_only_result():
+    graph = multi_shard_graph(num_components=2, seed=1)
+
+    async def scenario(server, client):
+        await client.send(
+            {
+                "op": "enumerate",
+                "id": "q",
+                "alpha": 2,
+                "beta": 1,
+                "delta": 1,
+                "stream": False,
+                "graph": graph_payload(graph),
+            }
+        )
+        return await client.recv_until(id="q")
+
+    events = run_with_server(scenario)
+    assert [event["event"] for event in events] == ["accepted", "result"]
+
+
+def test_enumerate_named_dataset():
+    async def scenario(server, client):
+        await client.send(
+            {
+                "op": "enumerate",
+                "id": "d",
+                "model": "bsfbc",
+                "alpha": 1,
+                "beta": 1,
+                "delta": 1,
+                "dataset": "dblp-small",
+                "stream": False,
+            }
+        )
+        return await client.recv_until(id="d")
+
+    events = run_with_server(scenario)
+    assert events[-1]["event"] == "result"
+    baseline = enumerate_bsfbc(load_dataset("dblp-small", seed=0), FairnessParams(1, 1, 1))
+    assert events[-1]["count"] == len(baseline.bicliques)
+
+
+def test_concurrent_requests_on_one_connection():
+    graph_a = multi_shard_graph(num_components=2, seed=2)
+    graph_b = multi_shard_graph(num_components=2, seed=3)
+
+    async def scenario(server, client):
+        for request_id, graph in (("a", graph_a), ("b", graph_b)):
+            await client.send(
+                {
+                    "op": "enumerate",
+                    "id": request_id,
+                    "alpha": 2,
+                    "beta": 1,
+                    "delta": 1,
+                    "stream": False,
+                    "graph": graph_payload(graph),
+                }
+            )
+        results = {}
+        while len(results) < 2:
+            event = await client.recv()
+            if event["event"] == "result":
+                results[event["id"]] = event
+        return results
+
+    results = run_with_server(scenario)
+    assert result_set(results["a"]) == api_result_set(
+        enumerate_ssfbc(graph_a, FairnessParams(2, 1, 1))
+    )
+    assert result_set(results["b"]) == api_result_set(
+        enumerate_ssfbc(graph_b, FairnessParams(2, 1, 1))
+    )
+
+
+def test_ping_pong():
+    async def scenario(server, client):
+        await client.send({"op": "ping"})
+        return await client.recv()
+
+    assert run_with_server(scenario) == {"event": "pong"}
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancel_op_stops_a_streaming_request():
+    graph = multi_shard_graph(num_components=6, seed=4)
+
+    async def scenario(server, client):
+        await client.send(
+            {
+                "op": "enumerate",
+                "id": "slow",
+                "alpha": 2,
+                "beta": 1,
+                "delta": 1,
+                "graph": graph_payload(graph),
+            }
+        )
+        first = await client.recv()
+        assert first["event"] == "accepted"
+        await client.send({"op": "cancel", "id": "slow"})
+        events = await client.recv_until(id="slow")
+        return events
+
+    events = run_with_server(
+        scenario, max_dispatch=1, unit_runner=slow_runner
+    )
+    assert events[-1]["event"] == "cancelled"
+
+
+def test_pipelined_cancel_races_enumerate_registration():
+    """A cancel written immediately after its enumerate line (read before
+    the enumerate task registered its handle) must still cancel."""
+    graph = multi_shard_graph(num_components=6, seed=6)
+
+    async def scenario(server, client):
+        enumerate_line = json.dumps(
+            {
+                "op": "enumerate",
+                "id": "pipelined",
+                "alpha": 2,
+                "beta": 1,
+                "delta": 1,
+                "graph": graph_payload(graph),
+            }
+        )
+        cancel_line = json.dumps({"op": "cancel", "id": "pipelined"})
+        await client.send_raw(
+            (enumerate_line + "\n" + cancel_line + "\n").encode("utf-8")
+        )
+        return await client.recv_until(id="pipelined")
+
+    events = run_with_server(scenario, max_dispatch=1, unit_runner=slow_runner)
+    assert events[-1]["event"] == "cancelled"
+
+
+def test_cancel_unknown_id_reports_error():
+    async def scenario(server, client):
+        await client.send({"op": "cancel", "id": "nope"})
+        return await client.recv()
+
+    event = run_with_server(scenario)
+    assert event["event"] == "error" and "nope" in event["error"]
+
+
+# ----------------------------------------------------------------------
+# protocol errors
+# ----------------------------------------------------------------------
+def test_malformed_json_line_reports_error_and_connection_survives():
+    async def scenario(server, client):
+        await client.send_raw(b"this is not json\n")
+        error = await client.recv()
+        await client.send({"op": "ping"})
+        pong = await client.recv()
+        return error, pong
+
+    error, pong = run_with_server(scenario)
+    assert error["event"] == "error"
+    assert pong == {"event": "pong"}
+
+
+def test_unknown_op_and_missing_graph_report_errors():
+    async def scenario(server, client):
+        await client.send({"op": "explode"})
+        unknown = await client.recv()
+        await client.send({"op": "enumerate", "id": "g", "alpha": 1, "beta": 1})
+        missing = (await client.recv_until(id="g"))[-1]
+        await client.send(
+            {
+                "op": "enumerate",
+                "id": "m",
+                "alpha": 1,
+                "beta": 1,
+                "model": "no-such-model",
+                "dataset": "dblp-small",
+            }
+        )
+        bad_model = (await client.recv_until(id="m"))[-1]
+        return unknown, missing, bad_model
+
+    unknown, missing, bad_model = run_with_server(scenario)
+    assert unknown["event"] == "error" and "explode" in unknown["error"]
+    assert missing["event"] == "error" and "graph" in missing["error"]
+    assert bad_model["event"] == "error" and "no-such-model" in bad_model["error"]
+
+
+def test_duplicate_inflight_id_is_rejected():
+    graph = multi_shard_graph(num_components=3, seed=5)
+
+    async def scenario(server, client):
+        message = {
+            "op": "enumerate",
+            "id": "dup",
+            "alpha": 2,
+            "beta": 1,
+            "delta": 1,
+            "stream": False,
+            "graph": graph_payload(graph),
+        }
+        await client.send(message)
+        await client.send(message)
+        events = []
+        while True:
+            event = await client.recv()
+            events.append(event)
+            if len([e for e in events if e["event"] in ("result", "error")]) == 2:
+                return events
+
+    events = run_with_server(scenario, max_dispatch=1, unit_runner=slow_runner)
+    kinds = sorted(event["event"] for event in events)
+    assert "error" in kinds and "result" in kinds
